@@ -1,0 +1,62 @@
+//! Criterion benches for the linear-algebra substrate: the kernels that
+//! dominate Phase 1 (Cholesky on `AᵀA`) and Phase 2 (pivoted QR rank
+//! checks, Householder least squares).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use losstomo_linalg::{Cholesky, Matrix, PivotedQr, Qr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<f64> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    Matrix::from_vec(rows, cols, data).expect("dimensions match")
+}
+
+fn spd_matrix(n: usize, seed: u64) -> Matrix {
+    let a = random_matrix(2 * n, n, seed);
+    let mut g = a.gram();
+    for i in 0..n {
+        g[(i, i)] += 1.0;
+    }
+    g
+}
+
+fn bench_qr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("householder_qr");
+    group.sample_size(10);
+    for &n in &[50usize, 100, 200] {
+        let a = random_matrix(2 * n, n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| Qr::new(a).expect("tall full-rank matrix"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pivoted_qr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pivoted_qr_rank");
+    group.sample_size(10);
+    for &n in &[50usize, 100, 200] {
+        let a = random_matrix(2 * n, n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| PivotedQr::new(a).expect("nonempty").rank())
+        });
+    }
+    group.finish();
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky");
+    group.sample_size(10);
+    for &n in &[50usize, 100, 200, 400] {
+        let g = spd_matrix(n, 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| Cholesky::new(g).expect("SPD"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qr, bench_pivoted_qr, bench_cholesky);
+criterion_main!(benches);

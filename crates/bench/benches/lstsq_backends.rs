@@ -1,0 +1,53 @@
+//! Criterion bench for the DESIGN.md ablation "least-squares backend":
+//! the paper's Householder QR on the materialised augmented system vs
+//! normal equations accumulated from sparse rows + Cholesky.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use losstomo_bench::{tree_topology, Scale};
+use losstomo_core::augmented::AugmentedSystem;
+use losstomo_core::covariance::CenteredMeasurements;
+use losstomo_core::{estimate_variances, VarianceConfig};
+use losstomo_linalg::LstsqBackend;
+use losstomo_netsim::{
+    simulate_run, CongestionDynamics, CongestionScenario, MeasurementSet, ProbeConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_backends(c: &mut Criterion) {
+    let prep = tree_topology(Scale::Quick, 11);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut scenario = CongestionScenario::draw(
+        prep.red.num_links(),
+        0.1,
+        CongestionDynamics::Fixed,
+        &mut rng,
+    );
+    let ms = simulate_run(&prep.red, &mut scenario, &ProbeConfig::default(), 30, &mut rng);
+    let train = MeasurementSet {
+        snapshots: ms.snapshots.clone(),
+    };
+    let aug = AugmentedSystem::build(&prep.red);
+    let centered = CenteredMeasurements::new(&train);
+
+    let mut group = c.benchmark_group("phase1_backend");
+    group.sample_size(10);
+    for (name, backend) in [
+        ("normal_equations", LstsqBackend::NormalEquations),
+        ("householder_qr", LstsqBackend::HouseholderQr),
+    ] {
+        let cfg = VarianceConfig {
+            backend,
+            ..VarianceConfig::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                estimate_variances(&prep.red, &aug, &centered, &cfg).expect("phase 1")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Ablation — loss process (Gilbert vs Bernoulli) and loss-rate model
+//! (LLRD1 vs LLRD2).
+//!
+//! The paper reports "very little difference" between LLRD1 and LLRD2
+//! and between Gilbert and Bernoulli losses. This study verifies both
+//! claims on the tree topology.
+//!
+//! Flags: `--scale quick|paper`, `--runs N`.
+
+use losstomo_bench::{pct, runs_from_args, tree_topology, Scale};
+use losstomo_core::metrics::summarize;
+use losstomo_core::{run_many, ExperimentConfig, RateErrors};
+use losstomo_netsim::{LossModel, LossProcessKind, ProbeConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    let runs = runs_from_args(10);
+    let prep = tree_topology(scale, 11);
+    println!(
+        "Ablation — loss models and processes (tree, {} links, m=50, {} runs)",
+        prep.red.num_links(),
+        runs
+    );
+    println!();
+    let header = format!(
+        "{:<12} {:<12} {:>8} {:>8} {:>10} {:>10}",
+        "model", "process", "DR", "FPR", "EF median", "AE median"
+    );
+    println!("{header}");
+    losstomo_bench::rule(&header);
+
+    for model in [LossModel::Llrd1, LossModel::Llrd2] {
+        for process in [LossProcessKind::Gilbert, LossProcessKind::Bernoulli] {
+            let cfg = ExperimentConfig {
+                snapshots: 50,
+                probe: ProbeConfig {
+                    loss_model: model,
+                    process,
+                    ..ProbeConfig::default()
+                },
+                seed: 10_000,
+                ..ExperimentConfig::default()
+            };
+            let results = run_many(&prep.red, &cfg, runs);
+            let ok: Vec<_> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
+            let n = ok.len() as f64;
+            let dr = ok.iter().map(|r| r.location.detection_rate).sum::<f64>() / n;
+            let fpr = ok
+                .iter()
+                .map(|r| r.location.false_positive_rate)
+                .sum::<f64>()
+                / n;
+            let mut errs = RateErrors::default();
+            for r in &ok {
+                errs.extend(&r.errors);
+            }
+            let ef = summarize(&errs.error_factors).expect("nonempty");
+            let ae = summarize(&errs.absolute_errors).expect("nonempty");
+            println!(
+                "{:<12} {:<12} {:>8} {:>8} {:>10.3} {:>10.5}",
+                format!("{model:?}"),
+                format!("{process:?}"),
+                pct(dr),
+                pct(fpr),
+                ef.median,
+                ae.median
+            );
+        }
+    }
+    println!();
+    println!("Paper's claim: differences between the models/processes are insignificant.");
+}

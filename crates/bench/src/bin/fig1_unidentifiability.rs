@@ -1,0 +1,53 @@
+//! Figure 1 — first-order moments cannot identify link loss rates.
+//!
+//! Reproduces the paper's motivating example: two different link
+//! transmission-rate assignments on the same 3-path tree produce
+//! *identical* end-to-end transmission rates, so no algorithm using only
+//! average path rates can tell them apart. The second-order moments,
+//! however, are identifiable (Theorem 1): we print the rank report of
+//! both `R` and the augmented matrix `A`.
+
+use losstomo_core::check_identifiability;
+use losstomo_topology::fixtures;
+use losstomo_topology::routing::compute_paths;
+
+fn main() {
+    let topo = fixtures::figure1();
+    let paths = compute_paths(&topo.graph, &topo.beacons, &topo.destinations);
+    let red = fixtures::reduced(&topo);
+    let (rates_a, rates_b) = fixtures::figure1_ambiguous_rates();
+
+    println!("Figure 1 — un-identifiability of first-order moments");
+    println!();
+    println!("Topology: beacon B1, destinations D1..D3, 5 links");
+    println!("Assignment A (link transmission rates): {rates_a:?}");
+    println!("Assignment B (link transmission rates): {rates_b:?}");
+    println!();
+    let header = format!(
+        "{:<10} {:>18} {:>18} {:>10}",
+        "path", "rate under A", "rate under B", "equal?"
+    );
+    println!("{header}");
+    losstomo_bench::rule(&header);
+    for (i, (_, p)) in paths.iter().enumerate() {
+        let a: f64 = p.links.iter().map(|l| rates_a[l.index()]).product();
+        let b: f64 = p.links.iter().map(|l| rates_b[l.index()]).product();
+        println!(
+            "{:<10} {:>18.6} {:>18.6} {:>10}",
+            format!("P{}", i + 1),
+            a,
+            b,
+            if (a - b).abs() < 1e-12 { "yes" } else { "NO" }
+        );
+    }
+    println!();
+    let report = check_identifiability(&red);
+    println!(
+        "rank(R) = {} over n_c = {} links  →  first moments identifiable: {}",
+        report.r_rank, report.num_links, report.first_moment_identifiable
+    );
+    println!(
+        "rank(A) = n_c                     →  link variances identifiable: {} (Theorem 1)",
+        report.variances_identifiable
+    );
+}

@@ -1,0 +1,76 @@
+//! Figure 5 — accuracy of LIA vs SCFS in locating congested links on
+//! trees, as a function of the number of learning snapshots `m`.
+//!
+//! Paper setup: 1000-node trees (branching ≤ 10), beacon at the root,
+//! destinations at the leaves, `p = 10 %`, LLRD1, `S = 1000`, each point
+//! averaged over 10 runs. LIA's DR climbs above 0.9 and its FPR stays
+//! near zero, while single-snapshot SCFS sits significantly lower.
+//!
+//! Flags: `--scale quick|paper`, `--runs N` (default 10),
+//! `--m-values 10,20,...`.
+
+use losstomo_bench::{flag_value, pct, runs_from_args, tree_topology, Scale};
+use losstomo_core::{run_many, ExperimentConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    let runs = runs_from_args(10);
+    let m_values: Vec<usize> = flag_value("--m-values")
+        .map(|v| v.split(',').filter_map(|x| x.parse().ok()).collect())
+        .unwrap_or_else(|| vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100]);
+
+    let prep = tree_topology(scale, 11);
+    println!(
+        "Figure 5 — LIA vs SCFS on a tree ({} nodes → {} paths, {} links), p=10%, S=1000, {} runs",
+        prep.topo.graph.node_count(),
+        prep.red.num_paths(),
+        prep.red.num_links(),
+        runs
+    );
+    println!();
+    let header = format!(
+        "{:>6} {:>10} {:>10} {:>12} {:>12}",
+        "m", "LIA DR", "LIA FPR", "SCFS DR", "SCFS FPR"
+    );
+    println!("{header}");
+    losstomo_bench::rule(&header);
+
+    for &m in &m_values {
+        let cfg = ExperimentConfig {
+            snapshots: m,
+            run_scfs: true,
+            seed: 1000,
+            ..ExperimentConfig::default()
+        };
+        let results = run_many(&prep.red, &cfg, runs);
+        let ok: Vec<_> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
+        let n = ok.len() as f64;
+        let lia_dr = ok.iter().map(|r| r.location.detection_rate).sum::<f64>() / n;
+        let lia_fpr = ok
+            .iter()
+            .map(|r| r.location.false_positive_rate)
+            .sum::<f64>()
+            / n;
+        let scfs_dr = ok
+            .iter()
+            .filter_map(|r| r.scfs_location.map(|l| l.detection_rate))
+            .sum::<f64>()
+            / n;
+        let scfs_fpr = ok
+            .iter()
+            .filter_map(|r| r.scfs_location.map(|l| l.false_positive_rate))
+            .sum::<f64>()
+            / n;
+        println!(
+            "{:>6} {:>10} {:>10} {:>12} {:>12}",
+            m,
+            pct(lia_dr),
+            pct(lia_fpr),
+            pct(scfs_dr),
+            pct(scfs_fpr)
+        );
+    }
+    println!();
+    println!("Paper shape: LIA DR ≳ 90% rising with m, FPR a few %;");
+    println!("SCFS (one snapshot, no second-order information) well below LIA.");
+}

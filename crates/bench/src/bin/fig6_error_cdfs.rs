@@ -1,0 +1,53 @@
+//! Figure 6 — CDFs of the absolute error and the error factor of LIA's
+//! inferred link loss rates (tree topology, m = 50 snapshots).
+//!
+//! The paper's CDFs are extremely tight: absolute errors below ~0.0025
+//! and error factors below ~1.25 for virtually all links. We print both
+//! CDFs at fixed grid points.
+//!
+//! Flags: `--scale quick|paper`, `--runs N`.
+
+use losstomo_bench::{runs_from_args, tree_topology, Scale};
+use losstomo_core::metrics::cdf_at;
+use losstomo_core::{run_many, ExperimentConfig, RateErrors};
+
+fn main() {
+    let scale = Scale::from_args();
+    let runs = runs_from_args(10);
+    let prep = tree_topology(scale, 11);
+    println!(
+        "Figure 6 — error CDFs on a tree ({} links), m=50, p=10%, S=1000, {} runs",
+        prep.red.num_links(),
+        runs
+    );
+
+    let cfg = ExperimentConfig {
+        snapshots: 50,
+        seed: 2000,
+        ..ExperimentConfig::default()
+    };
+    let results = run_many(&prep.red, &cfg, runs);
+    let mut all = RateErrors::default();
+    for r in results.iter().filter_map(|r| r.as_ref().ok()) {
+        all.extend(&r.errors);
+    }
+
+    println!();
+    let header = format!("{:>16} {:>12}", "abs error ≤ x", "CDF");
+    println!("{header}");
+    losstomo_bench::rule(&header);
+    for x in [0.0, 0.0005, 0.001, 0.0015, 0.002, 0.0025, 0.005, 0.01, 0.05] {
+        println!("{:>16.4} {:>12.4}", x, cdf_at(&all.absolute_errors, x));
+    }
+
+    println!();
+    let header = format!("{:>16} {:>12}", "error factor ≤ x", "CDF");
+    println!("{header}");
+    losstomo_bench::rule(&header);
+    for x in [1.0, 1.05, 1.1, 1.15, 1.2, 1.25, 1.5, 2.0, 5.0] {
+        println!("{:>16.2} {:>12.4}", x, cdf_at(&all.error_factors, x));
+    }
+    println!();
+    println!("Paper shape: both CDFs saturate fast — most links have error");
+    println!("factor 1.00 and absolute error below ~0.0025.");
+}

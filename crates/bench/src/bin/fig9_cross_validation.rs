@@ -1,0 +1,101 @@
+//! Figure 9 — cross-validation of LIA on the (simulated) PlanetLab
+//! network.
+//!
+//! Ground truth is unavailable on the real Internet, so the paper splits
+//! the measured paths into an inference half and a validation half, runs
+//! LIA on the former and checks eq. (11) (|measured − predicted| ≤
+//! ε = 0.005) on the latter, as a function of the learning window `m`.
+//! More than 95 % of paths validate, flattening out beyond m ≈ 80.
+//!
+//! This reproduction also injects traceroute topology errors
+//! (non-responding routers, unresolved interface aliases) to exercise
+//! the paper's robustness claim: inference runs on the *observed*
+//! topology while losses happen on the true one.
+//!
+//! Flags: `--scale quick|paper`, `--runs N`, `--no-traceroute-errors`.
+
+use losstomo_bench::{planetlab_topology, runs_from_args, Scale};
+use losstomo_core::{cross_validate, CrossValidationConfig};
+use losstomo_netsim::{
+    observe, simulate_run, CongestionDynamics, CongestionScenario, MeasurementSet,
+    ProbeConfig, TracerouteConfig,
+};
+use losstomo_topology::reduce;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_args();
+    let runs = runs_from_args(10);
+    let with_errors = !std::env::args().any(|a| a == "--no-traceroute-errors");
+    let prep = planetlab_topology(scale, 42);
+
+    // Observed topology: replay traceroute with the Section-7 error
+    // rates. Losses are simulated on the true topology; LIA sees only
+    // the observed routing matrix.
+    let mut trng = StdRng::seed_from_u64(17);
+    let paths = losstomo_topology::compute_paths(
+        &prep.topo.graph,
+        &prep.topo.beacons,
+        &prep.topo.destinations,
+    );
+    let obs_red = if with_errors {
+        let obs = observe(
+            &prep.topo.graph,
+            &paths,
+            &TracerouteConfig::default(),
+            &mut trng,
+        );
+        reduce(&obs.graph, &obs.paths)
+    } else {
+        prep.red.clone()
+    };
+
+    println!(
+        "Figure 9 — cross-validation, ε = 0.005 ({} paths, traceroute errors: {})",
+        obs_red.num_paths(),
+        with_errors
+    );
+    println!();
+    let header = format!("{:>6} {:>22}", "m", "% consistent paths");
+    println!("{header}");
+    losstomo_bench::rule(&header);
+
+    // Section 7 measures the *real* Internet, where congestion incidence
+    // is far sparser than the LLRD1 simulation's p = 10 % (the paper
+    // itself finds 99 % of congested links last a single 5-minute
+    // snapshot). We use p = 3 % for the Internet-experiment
+    // reproduction; paths crossing no congested link validate trivially,
+    // as PlanetLab's mostly-clean paths did.
+    for m in [20usize, 40, 60, 80, 100] {
+        let mut percents = Vec::new();
+        for run in 0..runs {
+            let mut rng = StdRng::seed_from_u64(7000 + run as u64);
+            let mut scenario = CongestionScenario::draw(
+                prep.red.num_links(),
+                0.03,
+                CongestionDynamics::Fixed,
+                &mut rng,
+            );
+            // Simulate on the TRUE topology.
+            let ms: MeasurementSet = simulate_run(
+                &prep.red,
+                &mut scenario,
+                &ProbeConfig::default(),
+                m + 1,
+                &mut rng,
+            );
+            // Validate with the OBSERVED routing matrix.
+            match cross_validate(&obs_red, &ms, &CrossValidationConfig::default(), &mut rng)
+            {
+                Ok(res) => percents.push(res.percent_consistent()),
+                Err(e) => eprintln!("m={m} run={run}: {e}"),
+            }
+        }
+        let avg = percents.iter().sum::<f64>() / percents.len().max(1) as f64;
+        println!("{:>6} {:>21.1}%", m, avg);
+    }
+    println!();
+    println!("Paper shape: > 95% of validation paths consistent, increasing in m");
+    println!("and flattening out for m ≳ 80 — despite traceroute topology errors.");
+}

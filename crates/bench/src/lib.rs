@@ -1,0 +1,253 @@
+//! Shared harness for the experiment binaries and Criterion benches.
+//!
+//! Every table and figure of the paper has a dedicated binary in
+//! `src/bin/` (see DESIGN.md's experiment index); this library holds the
+//! pieces they share: named topology builders at paper or reduced scale,
+//! a tiny CLI-flag parser, and table-formatting helpers.
+
+use losstomo_core::ExperimentConfig;
+use losstomo_topology::gen::{
+    barabasi::{self, BarabasiParams},
+    dimes::{self, DimesParams},
+    hierarchical::{self, HierMode, HierParams},
+    planetlab::{self, PlanetLabParams},
+    tree::{self, TreeParams},
+    waxman::{self, WaxmanParams},
+    GeneratedTopology,
+};
+use losstomo_topology::{compute_paths, flutter, reduce, ReducedTopology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How large to build the simulated topologies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale parameters (1000-node meshes, 1000-node trees).
+    Paper,
+    /// Reduced sizes for quick runs and CI.
+    Quick,
+}
+
+impl Scale {
+    /// Parses `--scale paper|quick` from the CLI (default paper).
+    pub fn from_args() -> Scale {
+        match flag_value("--scale").as_deref() {
+            Some("quick") => Scale::Quick,
+            _ => Scale::Paper,
+        }
+    }
+}
+
+/// A prepared topology: generator output plus the reduced routing
+/// matrix, with fluttering paths already removed (Assumption T.2).
+pub struct PreparedTopology {
+    /// Short name used in table rows (e.g. "Waxman").
+    pub name: &'static str,
+    /// The generated graph and endpoint sets.
+    pub topo: GeneratedTopology,
+    /// The reduced measurement system.
+    pub red: ReducedTopology,
+    /// Paths removed by flutter filtering.
+    pub removed_fluttering: usize,
+}
+
+/// Builds a named topology, routes all beacon→destination paths,
+/// removes fluttering pairs and reduces to the routing matrix.
+pub fn prepare(name: &'static str, topo: GeneratedTopology) -> PreparedTopology {
+    let mut paths = compute_paths(&topo.graph, &topo.beacons, &topo.destinations);
+    let removed = flutter::remove_fluttering_paths(&mut paths);
+    let red = reduce(&topo.graph, &paths);
+    PreparedTopology {
+        name,
+        topo,
+        red,
+        removed_fluttering: removed.len(),
+    }
+}
+
+/// The Section-6.1 tree (1000 nodes, branching ≤ 10 at paper scale).
+pub fn tree_topology(scale: Scale, seed: u64) -> PreparedTopology {
+    let params = match scale {
+        Scale::Paper => TreeParams::default(),
+        Scale::Quick => TreeParams {
+            nodes: 200,
+            max_branching: 8,
+        },
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    prepare("Tree", tree::generate(params, &mut rng))
+}
+
+/// BRITE-like Waxman mesh (Table 2 row 2).
+pub fn waxman_topology(scale: Scale, seed: u64) -> PreparedTopology {
+    let params = match scale {
+        Scale::Paper => WaxmanParams::default(),
+        Scale::Quick => WaxmanParams {
+            nodes: 150,
+            hosts: 16,
+            ..WaxmanParams::default()
+        },
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    prepare("Waxman", waxman::generate(params, &mut rng))
+}
+
+/// BRITE-like Barabási–Albert mesh (Table 2 row 1).
+pub fn barabasi_topology(scale: Scale, seed: u64) -> PreparedTopology {
+    let params = match scale {
+        Scale::Paper => BarabasiParams::default(),
+        Scale::Quick => BarabasiParams {
+            nodes: 150,
+            hosts: 16,
+            ..BarabasiParams::default()
+        },
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    prepare("Barabasi-Albert", barabasi::generate(params, &mut rng))
+}
+
+/// BRITE-like hierarchical top-down mesh (Table 2 row 3).
+pub fn hierarchical_td_topology(scale: Scale, seed: u64) -> PreparedTopology {
+    let params = match scale {
+        Scale::Paper => HierParams::default(),
+        Scale::Quick => HierParams {
+            as_count: 6,
+            routers_per_as: 20,
+            hosts: 16,
+            mode: HierMode::TopDown,
+        },
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    prepare("Hierarchical (Top-Down)", hierarchical::generate(params, &mut rng))
+}
+
+/// BRITE-like hierarchical bottom-up mesh (Table 2 row 4).
+pub fn hierarchical_bu_topology(scale: Scale, seed: u64) -> PreparedTopology {
+    let params = match scale {
+        Scale::Paper => HierParams {
+            mode: HierMode::BottomUp,
+            ..HierParams::default()
+        },
+        Scale::Quick => HierParams {
+            as_count: 6,
+            routers_per_as: 20,
+            hosts: 16,
+            mode: HierMode::BottomUp,
+        },
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    prepare("Hierarchical (Bottom-Up)", hierarchical::generate(params, &mut rng))
+}
+
+/// Synthetic PlanetLab-like mesh (Table 2 row 5, Sections 6.3 and 7).
+pub fn planetlab_topology(scale: Scale, seed: u64) -> PreparedTopology {
+    let params = match scale {
+        Scale::Paper => PlanetLabParams {
+            sites: 60,
+            core_routers: 15,
+            ..PlanetLabParams::default()
+        },
+        Scale::Quick => PlanetLabParams {
+            sites: 16,
+            core_routers: 6,
+            ..PlanetLabParams::default()
+        },
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    prepare("PlanetLab", planetlab::generate(params, &mut rng))
+}
+
+/// Synthetic DIMES-like mesh (Table 2 row 6).
+pub fn dimes_topology(scale: Scale, seed: u64) -> PreparedTopology {
+    let params = match scale {
+        Scale::Paper => DimesParams {
+            as_count: 120,
+            hosts: 60,
+            ..DimesParams::default()
+        },
+        Scale::Quick => DimesParams {
+            as_count: 30,
+            hosts: 16,
+            ..DimesParams::default()
+        },
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    prepare("DIMES", dimes::generate(params, &mut rng))
+}
+
+/// All six Table-2 topologies.
+pub fn table2_topologies(scale: Scale, seed: u64) -> Vec<PreparedTopology> {
+    vec![
+        barabasi_topology(scale, seed),
+        waxman_topology(scale, seed + 1),
+        hierarchical_td_topology(scale, seed + 2),
+        hierarchical_bu_topology(scale, seed + 3),
+        planetlab_topology(scale, seed + 4),
+        dimes_topology(scale, seed + 5),
+    ]
+}
+
+/// The default experiment configuration of Section 6 (`p = 10 %`,
+/// `m = 50`, `S = 1000`, LLRD1, Gilbert).
+pub fn paper_experiment_config(seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        seed,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Returns the value following a `--flag` CLI argument.
+pub fn flag_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Parses `--runs N` (defaulting to the paper's 10).
+pub fn runs_from_args(default: usize) -> usize {
+    flag_value("--runs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Prints a horizontal rule sized to a header line.
+pub fn rule(header: &str) {
+    println!("{}", "-".repeat(header.len()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_topologies_build_and_reduce() {
+        for prep in table2_topologies(Scale::Quick, 1) {
+            assert!(prep.red.num_paths() > 0, "{} has no paths", prep.name);
+            assert!(prep.red.num_links() > 0, "{} has no links", prep.name);
+            assert!(
+                prep.red.num_links() <= prep.topo.graph.link_count(),
+                "{}: more virtual links than physical",
+                prep.name
+            );
+        }
+    }
+
+    #[test]
+    fn tree_is_single_beacon() {
+        let prep = tree_topology(Scale::Quick, 2);
+        assert_eq!(prep.topo.beacons.len(), 1);
+        assert_eq!(prep.removed_fluttering, 0, "trees never flutter");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.1234), "12.34%");
+    }
+}

@@ -1,0 +1,291 @@
+//! The augmented matrix `A` of Definition 1 and the identifiability
+//! check of Theorem 1.
+//!
+//! `A` stacks, for every ordered pair of paths `i ≤ j`, the element-wise
+//! product `R_i* ⊗ R_j*` — for binary routing matrices this is simply the
+//! indicator of the links shared by both paths (`i = j` reproduces the
+//! row itself). Theorem 1 proves that `A` has full column rank on every
+//! topology satisfying T.1/T.2, making the link variances identifiable.
+//!
+//! Two practical notes from Section 5.1 are honoured:
+//!
+//! * Pairs of paths sharing no link produce all-zero rows; such rows
+//!   pair with covariance entries that are pure sampling noise and
+//!   contribute nothing to the least-squares normal equations, so the
+//!   builder skips them (the solution is unchanged, and `A` keeps
+//!   `O(shared pairs)` instead of `n_p(n_p+1)/2` rows).
+//! * When paths are added or removed (beacon churn, routing changes),
+//!   only the rows touching changed paths need recomputation —
+//!   [`AugmentedSystem::with_paths_replaced`] does exactly that.
+
+use losstomo_linalg::sparse::{CsrBuilder, CsrMatrix};
+use losstomo_linalg::{rank, Matrix};
+use losstomo_topology::{PathId, ReducedTopology};
+
+/// The augmented moment system: pair index plus sparse rows of `A`.
+#[derive(Debug, Clone)]
+pub struct AugmentedSystem {
+    /// The path pair `(i, j)` with `i ≤ j` for each row of `A`.
+    pairs: Vec<(PathId, PathId)>,
+    /// Sparse rows: row `r` is the set of links shared by `pairs[r]`.
+    rows: Vec<Vec<usize>>,
+    n_links: usize,
+}
+
+/// Intersection of two ascending index slices.
+fn intersect_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut x, mut y) = (0, 0);
+    while x < a.len() && y < b.len() {
+        match a[x].cmp(&b[y]) {
+            std::cmp::Ordering::Less => x += 1,
+            std::cmp::Ordering::Greater => y += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[x]);
+                x += 1;
+                y += 1;
+            }
+        }
+    }
+    out
+}
+
+impl AugmentedSystem {
+    /// Builds the system for a reduced topology.
+    pub fn build(red: &ReducedTopology) -> Self {
+        let np = red.num_paths();
+        let nc = red.num_links();
+        let mut pairs = Vec::new();
+        let mut rows = Vec::new();
+        // Diagonal pairs (i, i): the path's own links.
+        for i in 0..np {
+            pairs.push((PathId(i as u32), PathId(i as u32)));
+            rows.push(red.path_links(PathId(i as u32)).to_vec());
+        }
+        // Off-diagonal pairs sharing at least one link, discovered via
+        // the link → paths inverted index.
+        let per_link = red.paths_per_link();
+        let mut seen = std::collections::HashSet::new();
+        for paths in &per_link {
+            for (a_idx, &a) in paths.iter().enumerate() {
+                for &b in &paths[a_idx + 1..] {
+                    let key = (a.min(b), a.max(b));
+                    if !seen.insert(key) {
+                        continue;
+                    }
+                    let shared =
+                        intersect_sorted(red.path_links(key.0), red.path_links(key.1));
+                    debug_assert!(!shared.is_empty());
+                    pairs.push(key);
+                    rows.push(shared);
+                }
+            }
+        }
+        AugmentedSystem {
+            pairs,
+            rows,
+            n_links: nc,
+        }
+    }
+
+    /// Number of retained rows (pairs with a nonempty intersection).
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of links `n_c` (columns of `A`).
+    pub fn num_links(&self) -> usize {
+        self.n_links
+    }
+
+    /// The path pair of row `r`.
+    pub fn pair(&self, r: usize) -> (PathId, PathId) {
+        self.pairs[r]
+    }
+
+    /// The shared links of row `r` (ascending).
+    pub fn row(&self, r: usize) -> &[usize] {
+        &self.rows[r]
+    }
+
+    /// Iterates over `(pair, shared links)`.
+    pub fn iter(&self) -> impl Iterator<Item = ((PathId, PathId), &[usize])> {
+        self.pairs
+            .iter()
+            .copied()
+            .zip(self.rows.iter().map(|r| r.as_slice()))
+    }
+
+    /// Assembles the retained rows as a sparse matrix (binary).
+    pub fn to_sparse(&self) -> CsrMatrix {
+        let mut b = CsrBuilder::new(self.n_links);
+        for row in &self.rows {
+            b.push_binary_row(row)
+                .expect("link indices are in range by construction");
+        }
+        b.build()
+    }
+
+    /// Assembles the retained rows densely (small systems only).
+    pub fn to_dense(&self) -> Matrix {
+        self.to_sparse().to_dense()
+    }
+
+    /// Theorem-1 check: does `A` have full column rank, i.e. are the
+    /// link variances statistically identifiable on this topology?
+    ///
+    /// Skipping all-zero rows does not change the column rank, so this
+    /// is exact. Cost: one pivoted QR on a dense `num_rows × n_c`
+    /// matrix — use on small/medium topologies only.
+    pub fn is_identifiable(&self) -> bool {
+        if self.n_links == 0 {
+            return false;
+        }
+        if self.rows.len() < self.n_links {
+            return false;
+        }
+        rank(&self.to_dense()) == self.n_links
+    }
+
+    /// Incrementally rebuilds the system after the paths in `changed`
+    /// were re-routed (or added/removed) in `red`: rows touching a
+    /// changed path are recomputed, all other rows are reused.
+    ///
+    /// `red` must be the *new* reduced topology with the same link
+    /// numbering; path ids must be stable for unchanged paths.
+    pub fn with_paths_replaced(&self, red: &ReducedTopology, changed: &[PathId]) -> Self {
+        let changed_set: std::collections::HashSet<PathId> = changed.iter().copied().collect();
+        let np = red.num_paths();
+        let mut pairs = Vec::with_capacity(self.pairs.len());
+        let mut rows = Vec::with_capacity(self.rows.len());
+        // Keep untouched rows that still reference valid paths.
+        for (pair, row) in self.iter() {
+            if pair.0.index() >= np || pair.1.index() >= np {
+                continue;
+            }
+            if changed_set.contains(&pair.0) || changed_set.contains(&pair.1) {
+                continue;
+            }
+            pairs.push(pair);
+            rows.push(row.to_vec());
+        }
+        // Recompute all pairs involving a changed path.
+        let mut seen: std::collections::HashSet<(PathId, PathId)> =
+            pairs.iter().copied().collect();
+        for &c in changed {
+            if c.index() >= np {
+                continue; // removed path
+            }
+            for other in 0..np {
+                let o = PathId(other as u32);
+                let key = if c <= o { (c, o) } else { (o, c) };
+                if !seen.insert(key) {
+                    continue;
+                }
+                let shared = if key.0 == key.1 {
+                    red.path_links(key.0).to_vec()
+                } else {
+                    intersect_sorted(red.path_links(key.0), red.path_links(key.1))
+                };
+                if shared.is_empty() {
+                    continue;
+                }
+                pairs.push(key);
+                rows.push(shared);
+            }
+        }
+        AugmentedSystem {
+            pairs,
+            rows,
+            n_links: red.num_links(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use losstomo_topology::fixtures;
+
+    #[test]
+    fn figure1_augmented_matrix_matches_paper() {
+        // The paper prints A for the Figure-1 network: 6 rows (3 paths +
+        // 3 pairs), 5 columns, and full column rank 5.
+        let red = fixtures::reduced(&fixtures::figure1());
+        let aug = AugmentedSystem::build(&red);
+        // 3 diagonal pairs + 3 off-diagonal pairs all share the root.
+        assert_eq!(aug.num_rows(), 6);
+        assert_eq!(aug.num_links(), 5);
+        assert!(aug.is_identifiable());
+        // Row sums match the paper's A: rows of weight {2,3,3} for the
+        // paths and {1,1,2} for the pairs.
+        let mut weights: Vec<usize> = (0..6).map(|r| aug.row(r).len()).collect();
+        weights.sort_unstable();
+        assert_eq!(weights, vec![1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn figure2_identifiable_despite_rank_deficient_r() {
+        let red = fixtures::reduced(&fixtures::figure2());
+        let r_rank = losstomo_linalg::rank(&red.matrix.to_dense());
+        assert!(r_rank < red.num_links(), "premise: R rank deficient");
+        let aug = AugmentedSystem::build(&red);
+        assert!(
+            aug.is_identifiable(),
+            "Theorem 1: A must have full column rank"
+        );
+    }
+
+    #[test]
+    fn intersect_sorted_works() {
+        assert_eq!(intersect_sorted(&[0, 2, 4], &[1, 2, 3, 4]), vec![2, 4]);
+        assert_eq!(intersect_sorted(&[], &[1]), Vec::<usize>::new());
+        assert_eq!(intersect_sorted(&[5], &[5]), vec![5]);
+    }
+
+    #[test]
+    fn disjoint_pairs_are_skipped() {
+        let red = fixtures::reduced(&fixtures::figure2());
+        let aug = AugmentedSystem::build(&red);
+        for (_, row) in aug.iter() {
+            assert!(!row.is_empty(), "all retained rows must be nonzero");
+        }
+        let full_pairs = red.num_paths() * (red.num_paths() + 1) / 2;
+        assert!(aug.num_rows() <= full_pairs);
+    }
+
+    #[test]
+    fn incremental_rebuild_matches_full_rebuild() {
+        let red = fixtures::reduced(&fixtures::figure2());
+        let aug = AugmentedSystem::build(&red);
+        // "Re-route" paths 0 and 3 (same topology, so results must be
+        // identical to a fresh build).
+        let rebuilt = aug.with_paths_replaced(&red, &[PathId(0), PathId(3)]);
+        let fresh = AugmentedSystem::build(&red);
+        let normalise = |a: &AugmentedSystem| {
+            let mut v: Vec<((PathId, PathId), Vec<usize>)> =
+                a.iter().map(|(p, r)| (p, r.to_vec())).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(normalise(&rebuilt), normalise(&fresh));
+    }
+
+    #[test]
+    fn empty_topology_is_not_identifiable() {
+        let red = fixtures::reduced(&fixtures::figure1());
+        let aug = AugmentedSystem {
+            pairs: vec![],
+            rows: vec![],
+            n_links: red.num_links(),
+        };
+        assert!(!aug.is_identifiable());
+    }
+
+    #[test]
+    fn sparse_and_dense_agree() {
+        let red = fixtures::reduced(&fixtures::figure1());
+        let aug = AugmentedSystem::build(&red);
+        assert_eq!(aug.to_sparse().to_dense(), aug.to_dense());
+    }
+}

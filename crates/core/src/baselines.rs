@@ -1,0 +1,99 @@
+//! Naive first-moment baseline.
+//!
+//! Without variance information the first-moment system `Y = R X` is
+//! rank deficient (Figure 1), so any solver must pick one of infinitely
+//! many solutions. This baseline does what a practitioner without LIA
+//! would: pick the *basic* least-squares solution from a column-pivoted
+//! QR (the numerically best-conditioned column subset gets nonzero
+//! rates, every other link is assigned loss 0). Comparing it against LIA
+//! quantifies exactly how much the second-order information buys.
+
+use losstomo_linalg::{LinalgError, PivotedQr};
+use losstomo_topology::ReducedTopology;
+
+/// Infers per-link transmission rates from one snapshot's log
+/// measurements using the basic (pivoted-QR) first-moment solution.
+///
+/// Returns per-link transmission rates; links outside the pivot basis
+/// get rate 1.0 (loss 0), mirroring LIA's treatment of eliminated links
+/// — but with the pivot order chosen by numerics instead of by learnt
+/// congestion level.
+pub fn first_moment_basic(
+    red: &ReducedTopology,
+    y: &[f64],
+) -> Result<Vec<f64>, LinalgError> {
+    if y.len() != red.num_paths() {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "snapshot has {} paths, topology has {}",
+            y.len(),
+            red.num_paths()
+        )));
+    }
+    let dense = red.matrix.to_dense();
+    let qr = PivotedQr::new(&dense)?;
+    let basis = qr.independent_columns();
+    let sub = dense.select_columns(&basis);
+    let x = PivotedQr::new(&sub)?.solve_least_squares(y)?;
+    let mut transmission = vec![1.0; red.num_links()];
+    for (pos, &k) in basis.iter().enumerate() {
+        // Deliberately NOT clamped to [0, 1]: the basic solution happily
+        // assigns non-physical rates > 1 to compensate other links —
+        // one more symptom of first-moment un-identifiability.
+        transmission[k] = x[pos].exp();
+    }
+    Ok(transmission)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use losstomo_topology::fixtures;
+
+    #[test]
+    fn reproduces_path_measurements() {
+        // The basic solution is consistent with Y even if it attributes
+        // losses to the wrong links.
+        let red = fixtures::reduced(&fixtures::figure1());
+        let phi = [0.9_f64, 1.0, 0.8, 1.0, 1.0];
+        let x: Vec<f64> = phi.iter().map(|p| p.ln()).collect();
+        let y = red.matrix.to_dense().matvec(&x).unwrap();
+        let est = first_moment_basic(&red, &y).unwrap();
+        let x_est: Vec<f64> = est.iter().map(|p| p.ln()).collect();
+        let y_est = red.matrix.to_dense().matvec(&x_est).unwrap();
+        for (a, b) in y.iter().zip(y_est.iter()) {
+            assert!((a - b).abs() < 1e-9, "not consistent: {y:?} vs {y_est:?}");
+        }
+    }
+
+    #[test]
+    fn can_misattribute_losses() {
+        // This is the point of the baseline: on Figure 1 the basic
+        // solution cannot distinguish the ambiguous assignments, so for
+        // at least one loss pattern it differs from the truth.
+        let red = fixtures::reduced(&fixtures::figure1());
+        let (ra, rb) = losstomo_topology::fixtures::figure1_ambiguous_rates();
+        // Both rate vectors yield the same Y (asserted in fixtures); the
+        // baseline returns one answer, so it must be wrong for at least
+        // one of them.
+        let to_y = |rates: &[f64; 5]| {
+            let x: Vec<f64> = rates.iter().map(|p| p.ln()).collect();
+            red.matrix.to_dense().matvec(&x).unwrap()
+        };
+        let est = first_moment_basic(&red, &to_y(&ra)).unwrap();
+        let matches = |rates: &[f64; 5]| {
+            est.iter()
+                .zip(rates.iter())
+                .all(|(e, t)| (e - t).abs() < 1e-6)
+        };
+        assert!(
+            !(matches(&ra) && matches(&rb)),
+            "cannot match two different truths at once"
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_length() {
+        let red = fixtures::reduced(&fixtures::figure1());
+        assert!(first_moment_basic(&red, &[0.0]).is_err());
+    }
+}

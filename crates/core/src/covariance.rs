@@ -1,0 +1,155 @@
+//! Sample moments of end-to-end measurements (eq. (7) of the paper).
+//!
+//! Given `m` snapshots of the log transmission rates
+//! `Y^(l) = [Y_1^(l) … Y_np^(l)]`, the unbiased sample covariance is
+//!
+//! `Σ̂_{ii'} = 1/(m−1) · Σ_l (Y_i^(l) − Ȳ_i)(Y_{i'}^(l) − Ȳ_{i'})`.
+//!
+//! Phase 1 only needs the entries for path pairs that share at least one
+//! link (disjoint pairs produce all-zero rows of `A`), so the estimator
+//! computes exactly the requested entries instead of the full `n_p²`
+//! matrix.
+
+use losstomo_netsim::MeasurementSet;
+
+/// Centred snapshot data, ready to produce covariance entries on demand.
+#[derive(Debug, Clone)]
+pub struct CenteredMeasurements {
+    /// `deviations[l][i] = Y_i^(l) − Ȳ_i` for snapshot `l`, path `i`.
+    deviations: Vec<Vec<f64>>,
+    n_paths: usize,
+}
+
+impl CenteredMeasurements {
+    /// Centres the log measurements of `m ≥ 2` snapshots.
+    ///
+    /// # Panics
+    /// Panics if fewer than two snapshots are supplied (the sample
+    /// covariance is undefined) or if snapshots disagree on the number
+    /// of paths.
+    pub fn new(measurements: &MeasurementSet) -> Self {
+        Self::from_rows(measurements.log_rate_rows())
+    }
+
+    /// Centres pre-extracted log-rate rows (one row per snapshot).
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        let m = rows.len();
+        assert!(m >= 2, "need at least 2 snapshots, got {m}");
+        let n_paths = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == n_paths),
+            "snapshots disagree on the number of paths"
+        );
+        let mut means = vec![0.0; n_paths];
+        for row in &rows {
+            for (mean, y) in means.iter_mut().zip(row.iter()) {
+                *mean += y;
+            }
+        }
+        for mean in means.iter_mut() {
+            *mean /= m as f64;
+        }
+        let deviations = rows
+            .into_iter()
+            .map(|row| {
+                row.iter()
+                    .zip(means.iter())
+                    .map(|(y, mean)| y - mean)
+                    .collect()
+            })
+            .collect();
+        CenteredMeasurements { deviations, n_paths }
+    }
+
+    /// Number of snapshots `m`.
+    pub fn snapshots(&self) -> usize {
+        self.deviations.len()
+    }
+
+    /// Number of paths `n_p`.
+    pub fn paths(&self) -> usize {
+        self.n_paths
+    }
+
+    /// The sample covariance `Σ̂_{ii'}` (unbiased, `m − 1` denominator).
+    pub fn cov(&self, i: usize, i2: usize) -> f64 {
+        debug_assert!(i < self.n_paths && i2 < self.n_paths);
+        let m = self.deviations.len();
+        let sum: f64 = self
+            .deviations
+            .iter()
+            .map(|row| row[i] * row[i2])
+            .sum();
+        sum / (m - 1) as f64
+    }
+
+    /// The sample variance of path `i`.
+    pub fn var(&self, i: usize) -> f64 {
+        self.cov(i, i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use losstomo_linalg::vector;
+
+    fn rows() -> Vec<Vec<f64>> {
+        vec![
+            vec![1.0, 2.0, -1.0],
+            vec![2.0, 4.0, -1.5],
+            vec![3.0, 6.0, -0.5],
+            vec![0.0, 0.0, -1.0],
+        ]
+    }
+
+    #[test]
+    fn matches_direct_formulas() {
+        let c = CenteredMeasurements::from_rows(rows());
+        let data = rows();
+        let col = |j: usize| -> Vec<f64> { data.iter().map(|r| r[j]).collect() };
+        for i in 0..3 {
+            assert!((c.var(i) - vector::sample_variance(&col(i))).abs() < 1e-12);
+            for j in 0..3 {
+                let expected = vector::sample_covariance(&col(i), &col(j));
+                assert!((c.cov(i, j) - expected).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_is_symmetric() {
+        let c = CenteredMeasurements::from_rows(rows());
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(c.cov(i, j), c.cov(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn perfectly_correlated_paths() {
+        // Column 1 = 2 × column 0 → cov = 2·var₀.
+        let c = CenteredMeasurements::from_rows(rows());
+        assert!((c.cov(0, 1) - 2.0 * c.var(0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimensions_exposed() {
+        let c = CenteredMeasurements::from_rows(rows());
+        assert_eq!(c.snapshots(), 4);
+        assert_eq!(c.paths(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 snapshots")]
+    fn rejects_single_snapshot() {
+        CenteredMeasurements::from_rows(vec![vec![1.0, 2.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree")]
+    fn rejects_ragged_rows() {
+        CenteredMeasurements::from_rows(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,340 @@
+//! The Loss Inference Algorithm (LIA) — Phase 2 and the end-to-end
+//! driver (Section 5.2–5.3).
+//!
+//! After Phase 1 has learnt the link variances, Phase 2:
+//!
+//! 1. sorts links in increasing variance order (by Assumption S.3 this
+//!    is increasing congestion order),
+//! 2. removes the least-variant columns from the first-moment system
+//!    `Y = R X` until the remaining matrix `R*` has full column rank,
+//! 3. solves `Y = R* X*` by least squares for the surviving (congested)
+//!    links, and
+//! 4. approximates the removed links' transmission rates by 1 (loss 0).
+//!
+//! The paper's loop removes the globally smallest-variance column while
+//! `R*` is rank deficient. Because "subset of an independent set is
+//! independent", the set of survivors is monotone in the cut position,
+//! so we find the minimal cut by bisection over the variance order —
+//! identical output, `O(log n_c)` rank checks instead of `O(n_c)`.
+//! A greedy-matroid variant that keeps every column independent of the
+//! already-kept higher-variance set is provided for the ablation study
+//! (it never discards an identifiable congested link).
+
+use losstomo_linalg::{lstsq, LinalgError, LstsqBackend, PivotedQr};
+use losstomo_topology::ReducedTopology;
+use serde::{Deserialize, Serialize};
+
+/// How Phase 2 chooses the columns of `R*`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EliminationStrategy {
+    /// The paper's rule: drop the smallest-variance columns (as a
+    /// prefix of the variance order) until `R*` has full column rank.
+    #[default]
+    PaperOrder,
+    /// Keep a maximal independent set, scanning columns in decreasing
+    /// variance order (matroid greedy). Keeps a superset of the
+    /// information the paper's rule keeps.
+    GreedyMatroid,
+}
+
+/// LIA configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LiaConfig {
+    /// Column-elimination strategy for Phase 2.
+    pub elimination: EliminationStrategy,
+    /// Backend for the reduced first-moment solve.
+    pub backend: LstsqBackend,
+}
+
+impl Default for LiaConfig {
+    fn default() -> Self {
+        LiaConfig {
+            elimination: EliminationStrategy::PaperOrder,
+            backend: LstsqBackend::HouseholderQr,
+        }
+    }
+}
+
+/// The output of Phase 2 for one snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkRateEstimate {
+    /// Estimated transmission rate `φ̂_{e_k}` per virtual link
+    /// (1.0 for links eliminated as un-congested).
+    pub transmission: Vec<f64>,
+    /// Whether each link survived into `R*` (true) or was eliminated
+    /// and approximated as loss-free (false).
+    pub kept: Vec<bool>,
+    /// Number of columns of `R*`.
+    pub kept_count: usize,
+}
+
+impl LinkRateEstimate {
+    /// Estimated loss rate `1 − φ̂` per link.
+    pub fn loss_rates(&self) -> Vec<f64> {
+        self.transmission.iter().map(|t| 1.0 - t).collect()
+    }
+
+    /// Links whose estimated loss rate exceeds the threshold `t_l`.
+    pub fn congested_links(&self, threshold: f64) -> Vec<usize> {
+        self.transmission
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| 1.0 - t > threshold)
+            .map(|(k, _)| k)
+            .collect()
+    }
+}
+
+/// Selects the columns of `R*` given the learnt variances.
+///
+/// Returns the kept column indices (ascending). The paper's strategy
+/// bisects over the number of dropped smallest-variance columns; the
+/// greedy strategy scans in decreasing variance order and keeps columns
+/// that enlarge the span.
+pub fn select_full_rank_columns(
+    red: &ReducedTopology,
+    variances: &[f64],
+    strategy: EliminationStrategy,
+) -> Vec<usize> {
+    let nc = red.num_links();
+    assert_eq!(
+        variances.len(),
+        nc,
+        "got {} variances for {} links",
+        variances.len(),
+        nc
+    );
+    // Variance order, ascending; ties broken by link index for
+    // reproducibility.
+    let mut order: Vec<usize> = (0..nc).collect();
+    order.sort_by(|&a, &b| variances[a].total_cmp(&variances[b]).then(a.cmp(&b)));
+    let dense = red.matrix.to_dense();
+
+    match strategy {
+        EliminationStrategy::PaperOrder => {
+            // Feasibility is monotone in the cut: if dropping k smallest
+            // leaves an independent set, dropping k+1 does too.
+            let full_rank_after_drop = |k: usize| -> bool {
+                let kept: Vec<usize> = order[k..].to_vec();
+                if kept.is_empty() {
+                    return true;
+                }
+                if kept.len() > red.num_paths() {
+                    return false;
+                }
+                let sub = dense.select_columns(&kept);
+                losstomo_linalg::rank(&sub) == kept.len()
+            };
+            let (mut lo, mut hi) = (0usize, nc); // hi always feasible
+            if full_rank_after_drop(0) {
+                hi = 0;
+            } else {
+                // Invariant: lo infeasible, hi feasible.
+                while hi - lo > 1 {
+                    let mid = lo + (hi - lo) / 2;
+                    if full_rank_after_drop(mid) {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
+                }
+            }
+            let mut kept: Vec<usize> = order[hi..].to_vec();
+            kept.sort_unstable();
+            kept
+        }
+        EliminationStrategy::GreedyMatroid => {
+            // Incremental Gram–Schmidt over columns in descending
+            // variance order.
+            let np = red.num_paths();
+            let mut basis: Vec<Vec<f64>> = Vec::new();
+            let mut kept: Vec<usize> = Vec::new();
+            for &j in order.iter().rev() {
+                if basis.len() == np {
+                    break; // span is full
+                }
+                let mut col = dense.col(j);
+                let norm0 = losstomo_linalg::vector::norm2(&col);
+                if norm0 == 0.0 {
+                    continue;
+                }
+                for b in &basis {
+                    let proj = losstomo_linalg::vector::dot(b, &col);
+                    losstomo_linalg::vector::axpy(-proj, b, &mut col);
+                }
+                let residual = losstomo_linalg::vector::norm2(&col);
+                if residual > 1e-10 * norm0 {
+                    losstomo_linalg::vector::scale(1.0 / residual, &mut col);
+                    basis.push(col);
+                    kept.push(j);
+                }
+            }
+            kept.sort_unstable();
+            kept
+        }
+    }
+}
+
+/// Runs Phase 2: solves the reduced first-moment system for one
+/// snapshot's log measurements `y` and returns per-link rates.
+pub fn infer_link_rates(
+    red: &ReducedTopology,
+    variances: &[f64],
+    y: &[f64],
+    cfg: &LiaConfig,
+) -> Result<LinkRateEstimate, LinalgError> {
+    let nc = red.num_links();
+    if y.len() != red.num_paths() {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "snapshot has {} paths, topology has {}",
+            y.len(),
+            red.num_paths()
+        )));
+    }
+    let kept = select_full_rank_columns(red, variances, cfg.elimination);
+    let dense = red.matrix.to_dense();
+    let rstar = dense.select_columns(&kept);
+    let xstar = match cfg.backend {
+        LstsqBackend::HouseholderQr => PivotedQr::new(&rstar)?.solve_least_squares(y)?,
+        LstsqBackend::NormalEquations => lstsq::solve_normal_equations(&rstar, y)?,
+    };
+    let mut transmission = vec![1.0; nc];
+    let mut kept_mask = vec![false; nc];
+    for (pos, &k) in kept.iter().enumerate() {
+        // X_k = log φ_k; clamp into [0, 1] (sampling noise can push the
+        // estimate slightly above 0 in log space).
+        transmission[k] = xstar[pos].exp().clamp(0.0, 1.0);
+        kept_mask[k] = true;
+    }
+    Ok(LinkRateEstimate {
+        transmission,
+        kept: kept_mask,
+        kept_count: kept.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use losstomo_topology::fixtures;
+
+    fn fig1() -> ReducedTopology {
+        fixtures::reduced(&fixtures::figure1())
+    }
+
+    #[test]
+    fn paper_order_drops_smallest_variances() {
+        let red = fig1();
+        // R is 3×5 with rank 3: at least 2 columns must go. Give the
+        // "congested" links 0 and 2 large variances.
+        let variances = vec![0.5, 0.001, 0.3, 0.002, 0.003];
+        let kept = select_full_rank_columns(&red, &variances, EliminationStrategy::PaperOrder);
+        assert!(kept.len() <= 3);
+        assert!(kept.contains(&0), "highest-variance link must survive");
+        // The kept set must be full column rank.
+        let sub = red.matrix.to_dense().select_columns(&kept);
+        assert_eq!(losstomo_linalg::rank(&sub), kept.len());
+    }
+
+    #[test]
+    fn greedy_keeps_at_least_as_many_columns() {
+        let red = fig1();
+        let variances = vec![0.5, 0.001, 0.3, 0.002, 0.003];
+        let paper =
+            select_full_rank_columns(&red, &variances, EliminationStrategy::PaperOrder);
+        let greedy =
+            select_full_rank_columns(&red, &variances, EliminationStrategy::GreedyMatroid);
+        assert!(greedy.len() >= paper.len());
+        let sub = red.matrix.to_dense().select_columns(&greedy);
+        assert_eq!(losstomo_linalg::rank(&sub), greedy.len());
+    }
+
+    #[test]
+    fn exact_rates_recovered_when_congested_links_survive() {
+        // Ground truth: link 0 lossy (φ=0.9), link 2 lossy (φ=0.8),
+        // others perfect. Y = R log φ. With variances pointing at links
+        // 0 and 2, Phase 2 must recover their rates exactly.
+        let red = fig1();
+        let phi_true = [0.9_f64, 1.0, 0.8, 1.0, 1.0];
+        let x: Vec<f64> = phi_true.iter().map(|p| p.ln()).collect();
+        let y = red.matrix.to_dense().matvec(&x).unwrap();
+        let variances = vec![0.5, 0.0, 0.3, 0.0, 0.0];
+        let est =
+            infer_link_rates(&red, &variances, &y, &LiaConfig::default()).unwrap();
+        assert!((est.transmission[0] - 0.9).abs() < 1e-10, "{est:?}");
+        assert!((est.transmission[2] - 0.8).abs() < 1e-10);
+        assert_eq!(est.transmission[1], 1.0);
+        assert_eq!(est.transmission[3], 1.0);
+        assert_eq!(est.transmission[4], 1.0);
+    }
+
+    #[test]
+    fn congested_links_classified_by_threshold() {
+        let est = LinkRateEstimate {
+            transmission: vec![0.9, 1.0, 0.999],
+            kept: vec![true, false, true],
+            kept_count: 2,
+        };
+        assert_eq!(est.congested_links(0.002), vec![0]);
+        let loss = est.loss_rates();
+        assert!((loss[0] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn both_backends_agree() {
+        let red = fig1();
+        let phi_true = [0.9_f64, 1.0, 0.8, 1.0, 1.0];
+        let x: Vec<f64> = phi_true.iter().map(|p| p.ln()).collect();
+        let y = red.matrix.to_dense().matvec(&x).unwrap();
+        let variances = vec![0.5, 0.0, 0.3, 0.0, 0.0];
+        let qr = infer_link_rates(
+            &red,
+            &variances,
+            &y,
+            &LiaConfig {
+                backend: LstsqBackend::HouseholderQr,
+                ..LiaConfig::default()
+            },
+        )
+        .unwrap();
+        let ne = infer_link_rates(
+            &red,
+            &variances,
+            &y,
+            &LiaConfig {
+                backend: LstsqBackend::NormalEquations,
+                ..LiaConfig::default()
+            },
+        )
+        .unwrap();
+        for (a, b) in qr.transmission.iter().zip(ne.transmission.iter()) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn wrong_snapshot_size_rejected() {
+        let red = fig1();
+        let variances = vec![0.0; red.num_links()];
+        assert!(infer_link_rates(&red, &variances, &[0.0], &LiaConfig::default()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "variances for")]
+    fn wrong_variance_count_panics() {
+        let red = fig1();
+        select_full_rank_columns(&red, &[0.0], EliminationStrategy::PaperOrder);
+    }
+
+    #[test]
+    fn kept_mask_consistent_with_count() {
+        let red = fig1();
+        let variances = vec![0.1, 0.2, 0.3, 0.4, 0.5];
+        let y = vec![0.0; red.num_paths()];
+        let est = infer_link_rates(&red, &variances, &y, &LiaConfig::default()).unwrap();
+        assert_eq!(
+            est.kept.iter().filter(|&&k| k).count(),
+            est.kept_count
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Evaluation metrics from Section 6.
+//!
+//! * **DR** (detection rate): `|F ∩ X| / |F|` — fraction of truly
+//!   congested links diagnosed congested.
+//! * **FPR** (false positive rate): `|X \ F| / |X|` — fraction of
+//!   diagnosed links that are actually good.
+//! * **Error factor** `f_δ(q, q*) = max{q(δ)/q*(δ), q*(δ)/q(δ)}` with
+//!   `q(δ) = max(δ, q)` (eq. (10), from Bu et al.), default `δ = 10⁻³`.
+//! * **Absolute error** `|q − q*|`.
+//! * CDF helpers for Figure 6, and max/median/min summaries for Table 2.
+
+use serde::{Deserialize, Serialize};
+
+/// Default error-factor margin `δ` (the paper's value).
+pub const DEFAULT_DELTA: f64 = 1e-3;
+
+/// Congested-link location accuracy (Figure 5, Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocationAccuracy {
+    /// Detection rate `|F ∩ X| / |F|`; 1.0 when nothing is congested.
+    pub detection_rate: f64,
+    /// False positive rate `|X \ F| / |X|`; 0.0 when nothing is flagged.
+    pub false_positive_rate: f64,
+    /// Number of truly congested links `|F|`.
+    pub actual_congested: usize,
+    /// Number of links diagnosed congested `|X|`.
+    pub diagnosed_congested: usize,
+}
+
+/// Computes DR and FPR from boolean truth/diagnosis vectors.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+pub fn location_accuracy(truth: &[bool], diagnosed: &[bool]) -> LocationAccuracy {
+    assert_eq!(truth.len(), diagnosed.len(), "length mismatch");
+    let f: usize = truth.iter().filter(|&&t| t).count();
+    let x: usize = diagnosed.iter().filter(|&&d| d).count();
+    let hit: usize = truth
+        .iter()
+        .zip(diagnosed.iter())
+        .filter(|(&t, &d)| t && d)
+        .count();
+    let false_pos = x - hit;
+    LocationAccuracy {
+        detection_rate: if f == 0 { 1.0 } else { hit as f64 / f as f64 },
+        false_positive_rate: if x == 0 {
+            0.0
+        } else {
+            false_pos as f64 / x as f64
+        },
+        actual_congested: f,
+        diagnosed_congested: x,
+    }
+}
+
+/// The error factor `f_δ(q, q*)` of eq. (10).
+pub fn error_factor(q_true: f64, q_est: f64, delta: f64) -> f64 {
+    let q = q_true.max(delta);
+    let qs = q_est.max(delta);
+    (q / qs).max(qs / q)
+}
+
+/// Absolute error `|q − q*|`.
+pub fn absolute_error(q_true: f64, q_est: f64) -> f64 {
+    (q_true - q_est).abs()
+}
+
+/// Per-link error report for one snapshot.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RateErrors {
+    /// Error factors, one per link.
+    pub error_factors: Vec<f64>,
+    /// Absolute errors, one per link.
+    pub absolute_errors: Vec<f64>,
+}
+
+impl RateErrors {
+    /// Compares inferred loss rates against true loss rates.
+    pub fn compare(true_loss: &[f64], est_loss: &[f64], delta: f64) -> Self {
+        assert_eq!(true_loss.len(), est_loss.len(), "length mismatch");
+        let error_factors = true_loss
+            .iter()
+            .zip(est_loss.iter())
+            .map(|(&t, &e)| error_factor(t, e, delta))
+            .collect();
+        let absolute_errors = true_loss
+            .iter()
+            .zip(est_loss.iter())
+            .map(|(&t, &e)| absolute_error(t, e))
+            .collect();
+        RateErrors {
+            error_factors,
+            absolute_errors,
+        }
+    }
+
+    /// Merges another report into this one (multi-run aggregation).
+    pub fn extend(&mut self, other: &RateErrors) {
+        self.error_factors.extend_from_slice(&other.error_factors);
+        self.absolute_errors
+            .extend_from_slice(&other.absolute_errors);
+    }
+}
+
+/// Max / median / min summary (Table 2 columns).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Largest value.
+    pub max: f64,
+    /// Median value.
+    pub median: f64,
+    /// Smallest value.
+    pub min: f64,
+}
+
+/// Summarises a sample; returns `None` for an empty slice.
+pub fn summarize(values: &[f64]) -> Option<Summary> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    };
+    Some(Summary {
+        max: sorted[n - 1],
+        median,
+        min: sorted[0],
+    })
+}
+
+/// Empirical CDF: returns `(sorted values, cumulative probabilities)`
+/// suitable for plotting Figure 6.
+pub fn empirical_cdf(values: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len() as f64;
+    let probs = (1..=sorted.len()).map(|i| i as f64 / n).collect();
+    (sorted, probs)
+}
+
+/// Fraction of values ≤ `x` (a point query on the empirical CDF).
+pub fn cdf_at(values: &[f64], x: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v <= x).count() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dr_fpr_basic() {
+        let truth = [true, true, false, false];
+        let diag = [true, false, true, false];
+        let acc = location_accuracy(&truth, &diag);
+        assert_eq!(acc.detection_rate, 0.5);
+        assert_eq!(acc.false_positive_rate, 0.5);
+        assert_eq!(acc.actual_congested, 2);
+        assert_eq!(acc.diagnosed_congested, 2);
+    }
+
+    #[test]
+    fn dr_fpr_edge_cases() {
+        let acc = location_accuracy(&[false, false], &[false, false]);
+        assert_eq!(acc.detection_rate, 1.0);
+        assert_eq!(acc.false_positive_rate, 0.0);
+        let perfect = location_accuracy(&[true, false], &[true, false]);
+        assert_eq!(perfect.detection_rate, 1.0);
+        assert_eq!(perfect.false_positive_rate, 0.0);
+    }
+
+    #[test]
+    fn error_factor_symmetric_and_floored() {
+        assert_eq!(error_factor(0.1, 0.1, DEFAULT_DELTA), 1.0);
+        let up = error_factor(0.2, 0.1, DEFAULT_DELTA);
+        let down = error_factor(0.1, 0.2, DEFAULT_DELTA);
+        assert_eq!(up, down);
+        assert_eq!(up, 2.0);
+        // Both below δ → treated as δ/δ = 1.
+        assert_eq!(error_factor(0.0, 1e-9, DEFAULT_DELTA), 1.0);
+    }
+
+    #[test]
+    fn rate_errors_compare() {
+        let errs = RateErrors::compare(&[0.1, 0.0], &[0.05, 0.0], DEFAULT_DELTA);
+        assert_eq!(errs.error_factors, vec![2.0, 1.0]);
+        assert!((errs.absolute_errors[0] - 0.05).abs() < 1e-12);
+        assert_eq!(errs.absolute_errors[1], 0.0);
+    }
+
+    #[test]
+    fn summary_odd_and_even() {
+        let s = summarize(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!((s.min, s.median, s.max), (1.0, 2.0, 3.0));
+        let s = summarize(&[4.0, 1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.median, 2.5);
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let (xs, ps) = empirical_cdf(&[0.3, 0.1, 0.2]);
+        assert_eq!(xs, vec![0.1, 0.2, 0.3]);
+        assert_eq!(ps, vec![1.0 / 3.0, 2.0 / 3.0, 1.0]);
+        assert_eq!(cdf_at(&[0.3, 0.1, 0.2], 0.15), 1.0 / 3.0);
+        assert_eq!(cdf_at(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn rate_errors_extend() {
+        let mut a = RateErrors::compare(&[0.1], &[0.1], DEFAULT_DELTA);
+        let b = RateErrors::compare(&[0.2], &[0.1], DEFAULT_DELTA);
+        a.extend(&b);
+        assert_eq!(a.error_factors.len(), 2);
+    }
+}

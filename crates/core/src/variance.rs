@@ -1,0 +1,284 @@
+//! Phase 1 of LIA: estimating the link variances `v` from the sample
+//! covariances of end-to-end measurements (Section 5.1).
+//!
+//! With the augmented system `Σ* = A v` (Lemma 1) and Theorem 1
+//! guaranteeing full column rank, the variances follow from a single
+//! least-squares solve. This is a generalized-method-of-moments
+//! estimator: consistent, distribution-free, and far cheaper than an
+//! iterative MLE/EM (the paper contrasts it with the EM of Cao et al.,
+//! which "cannot scale to networks with hundreds of nodes").
+//!
+//! Sampling noise makes some `Σ̂_{ii'}` negative; following the paper
+//! ("we ignore equations with Σ̂_{ii'} < 0" — they are redundant), those
+//! rows are dropped before solving.
+
+use crate::augmented::AugmentedSystem;
+use crate::covariance::CenteredMeasurements;
+use losstomo_linalg::{lstsq, LinalgError, LstsqBackend, Matrix};
+use losstomo_topology::ReducedTopology;
+
+/// Configuration for the variance estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct VarianceConfig {
+    /// Least-squares backend. [`LstsqBackend::NormalEquations`]
+    /// accumulates `AᵀA` from sparse rows and is the default —
+    /// `A` has `O(n_p²)` rows but only `n_c` columns.
+    pub backend: LstsqBackend,
+    /// Drop rows whose sample covariance is negative (the paper's rule).
+    /// Disable only for the `ablation_negative_cov` study.
+    pub drop_negative_covariances: bool,
+}
+
+impl Default for VarianceConfig {
+    fn default() -> Self {
+        VarianceConfig {
+            backend: LstsqBackend::NormalEquations,
+            drop_negative_covariances: true,
+        }
+    }
+}
+
+/// The result of Phase 1.
+#[derive(Debug, Clone)]
+pub struct VarianceEstimate {
+    /// Estimated variance `v_k` of `X_k = log φ̂_{e_k}` per virtual link.
+    pub v: Vec<f64>,
+    /// Rows dropped because their sample covariance was negative.
+    pub dropped_rows: usize,
+    /// Rows used in the solve.
+    pub used_rows: usize,
+}
+
+/// Estimates the link variances from `m ≥ 2` snapshots.
+///
+/// `aug` must be built for (or incrementally updated to) `red`;
+/// `centered` must hold the same paths as `red`.
+///
+/// On small topologies, dropping the negative-covariance rows can leave
+/// an under-determined system (they are only "redundant" at scale, as
+/// the paper notes for its PlanetLab-sized systems); in that case the
+/// estimator falls back to keeping all rows.
+pub fn estimate_variances(
+    red: &ReducedTopology,
+    aug: &AugmentedSystem,
+    centered: &CenteredMeasurements,
+    cfg: &VarianceConfig,
+) -> Result<VarianceEstimate, LinalgError> {
+    match estimate_variances_inner(red, aug, centered, cfg) {
+        Ok(est) => Ok(est),
+        Err(_) if cfg.drop_negative_covariances => {
+            let retry = VarianceConfig {
+                drop_negative_covariances: false,
+                ..*cfg
+            };
+            estimate_variances_inner(red, aug, centered, &retry)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+fn estimate_variances_inner(
+    red: &ReducedTopology,
+    aug: &AugmentedSystem,
+    centered: &CenteredMeasurements,
+    cfg: &VarianceConfig,
+) -> Result<VarianceEstimate, LinalgError> {
+    assert_eq!(
+        centered.paths(),
+        red.num_paths(),
+        "measurements cover {} paths, topology has {}",
+        centered.paths(),
+        red.num_paths()
+    );
+    let nc = red.num_links();
+    let mut dropped = 0usize;
+    let mut used = 0usize;
+
+    match cfg.backend {
+        LstsqBackend::NormalEquations => {
+            // Accumulate AᵀA and AᵀΣ* from the sparse rows directly.
+            let mut gram = Matrix::zeros(nc, nc);
+            let mut atb = vec![0.0; nc];
+            for (pair, links) in aug.iter() {
+                let sigma = centered.cov(pair.0.index(), pair.1.index());
+                if cfg.drop_negative_covariances && sigma < 0.0 {
+                    dropped += 1;
+                    continue;
+                }
+                used += 1;
+                for (ai, &ka) in links.iter().enumerate() {
+                    atb[ka] += sigma;
+                    for &kb in &links[ai..] {
+                        gram[(ka, kb)] += 1.0;
+                    }
+                }
+            }
+            for j in 0..nc {
+                for k in (j + 1)..nc {
+                    gram[(k, j)] = gram[(j, k)];
+                }
+            }
+            if used < nc {
+                // Dropping rows left an under-determined system; the
+                // caller retries with all rows kept.
+                return Err(LinalgError::DimensionMismatch(format!(
+                    "only {used} usable covariance rows for {nc} links"
+                )));
+            }
+            let v = lstsq::solve_spd(&gram, &atb)?;
+            Ok(VarianceEstimate {
+                v,
+                dropped_rows: dropped,
+                used_rows: used,
+            })
+        }
+        LstsqBackend::HouseholderQr => {
+            // The paper's textbook method: materialise the kept rows and
+            // factor with Householder reflections.
+            let mut rows: Vec<Vec<f64>> = Vec::new();
+            let mut rhs: Vec<f64> = Vec::new();
+            for (pair, links) in aug.iter() {
+                let sigma = centered.cov(pair.0.index(), pair.1.index());
+                if cfg.drop_negative_covariances && sigma < 0.0 {
+                    dropped += 1;
+                    continue;
+                }
+                used += 1;
+                let mut row = vec![0.0; nc];
+                for &k in links {
+                    row[k] = 1.0;
+                }
+                rows.push(row);
+                rhs.push(sigma);
+            }
+            if rows.len() < nc {
+                return Err(LinalgError::DimensionMismatch(format!(
+                    "only {} usable covariance rows for {nc} links",
+                    rows.len()
+                )));
+            }
+            let a = Matrix::from_rows(&rows)?;
+            let v = lstsq::solve_least_squares_with(&a, &rhs, LstsqBackend::HouseholderQr)?;
+            Ok(VarianceEstimate {
+                v,
+                dropped_rows: dropped,
+                used_rows: used,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use losstomo_netsim::{
+        simulate_run, CongestionDynamics, CongestionScenario, ProbeConfig,
+    };
+    use losstomo_topology::fixtures;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// End-to-end Phase-1 check on the Figure-1 tree: with one congested
+    /// link, its estimated variance must dominate all others.
+    fn phase1_on_figure1(backend: LstsqBackend) -> (Vec<f64>, Vec<bool>) {
+        let red = fixtures::reduced(&fixtures::figure1());
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut scenario = CongestionScenario::draw(
+            red.num_links(),
+            0.2,
+            CongestionDynamics::Fixed,
+            &mut rng,
+        );
+        // Force exactly one congested link for a crisp check: link 0.
+        while scenario.congested_count() != 1 {
+            scenario =
+                CongestionScenario::draw(red.num_links(), 0.2, CongestionDynamics::Fixed, &mut rng);
+        }
+        let cfg = ProbeConfig::default();
+        let ms = simulate_run(&red, &mut scenario.clone(), &cfg, 50, &mut rng);
+        let aug = AugmentedSystem::build(&red);
+        let centered = CenteredMeasurements::new(&ms);
+        let est = estimate_variances(
+            &red,
+            &aug,
+            &centered,
+            &VarianceConfig {
+                backend,
+                drop_negative_covariances: true,
+            },
+        )
+        .unwrap();
+        (est.v, scenario.statuses().to_vec())
+    }
+
+    #[test]
+    fn congested_link_has_dominant_variance_normal_eq() {
+        let (v, statuses) = phase1_on_figure1(LstsqBackend::NormalEquations);
+        let congested_idx = statuses.iter().position(|&c| c).unwrap();
+        let max_idx = v
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert_eq!(
+            max_idx, congested_idx,
+            "variances {v:?}, congested {congested_idx}"
+        );
+    }
+
+    #[test]
+    fn backends_agree() {
+        let (v1, _) = phase1_on_figure1(LstsqBackend::NormalEquations);
+        let (v2, _) = phase1_on_figure1(LstsqBackend::HouseholderQr);
+        for (a, b) in v1.iter().zip(v2.iter()) {
+            assert!((a - b).abs() < 1e-8, "{v1:?} vs {v2:?}");
+        }
+    }
+
+    #[test]
+    fn exact_covariances_recover_exact_variances() {
+        // Synthetic: build Σ* = A v directly from known v and solve.
+        let red = fixtures::reduced(&fixtures::figure1());
+        let aug = AugmentedSystem::build(&red);
+        let v_true = vec![0.05, 0.001, 0.02, 0.0005, 0.01];
+        // Fabricate centred measurements whose sample covariance equals
+        // the model covariance: use the linear map Y = R X with X drawn
+        // to have diagonal covariance... easier: feed cov directly by
+        // constructing a CenteredMeasurements stand-in is not possible,
+        // so instead verify via the dense solve: A v = Σ*.
+        let a = aug.to_dense();
+        let sigma_star = a.matvec(&v_true).unwrap();
+        let v = lstsq::solve_least_squares(&a, &sigma_star).unwrap();
+        for (est, truth) in v.iter().zip(v_true.iter()) {
+            assert!((est - truth).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn negative_rows_are_counted() {
+        let red = fixtures::reduced(&fixtures::figure1());
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut scenario = CongestionScenario::draw(
+            red.num_links(),
+            0.3,
+            CongestionDynamics::Fixed,
+            &mut rng,
+        );
+        let ms = simulate_run(&red, &mut scenario, &ProbeConfig::default(), 10, &mut rng);
+        let aug = AugmentedSystem::build(&red);
+        let centered = CenteredMeasurements::new(&ms);
+        let est =
+            estimate_variances(&red, &aug, &centered, &VarianceConfig::default()).unwrap();
+        assert_eq!(est.used_rows + est.dropped_rows, aug.num_rows());
+    }
+
+    #[test]
+    #[should_panic(expected = "measurements cover")]
+    fn path_count_mismatch_panics() {
+        let red = fixtures::reduced(&fixtures::figure1());
+        let aug = AugmentedSystem::build(&red);
+        let centered = CenteredMeasurements::from_rows(vec![vec![0.0; 7], vec![0.1; 7]]);
+        let _ = estimate_variances(&red, &aug, &centered, &VarianceConfig::default());
+    }
+}

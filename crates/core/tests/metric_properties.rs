@@ -1,0 +1,71 @@
+//! Property-based tests for the evaluation metrics.
+
+use losstomo_core::metrics::{
+    absolute_error, cdf_at, empirical_cdf, error_factor, location_accuracy, summarize,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// The error factor is ≥ 1, symmetric in its arguments, and equals
+    /// 1 when both rates sit below δ.
+    #[test]
+    fn error_factor_properties(q in 0.0f64..1.0, e in 0.0f64..1.0, delta in 1e-6f64..0.1) {
+        let f = error_factor(q, e, delta);
+        prop_assert!(f >= 1.0);
+        prop_assert!((f - error_factor(e, q, delta)).abs() < 1e-12);
+        let tiny = error_factor(delta / 2.0, delta / 3.0, delta);
+        prop_assert_eq!(tiny, 1.0);
+    }
+
+    /// The absolute error is a metric restricted to pairs: symmetric,
+    /// zero iff equal, triangle inequality.
+    #[test]
+    fn absolute_error_is_metric(a in 0.0f64..1.0, b in 0.0f64..1.0, c in 0.0f64..1.0) {
+        prop_assert_eq!(absolute_error(a, b), absolute_error(b, a));
+        prop_assert_eq!(absolute_error(a, a), 0.0);
+        prop_assert!(absolute_error(a, c) <= absolute_error(a, b) + absolute_error(b, c) + 1e-12);
+    }
+
+    /// DR and FPR always land in [0, 1], and perfect diagnosis gives
+    /// (1, 0).
+    #[test]
+    fn location_accuracy_bounds(truth in proptest::collection::vec(any::<bool>(), 1..64),
+                                flips in proptest::collection::vec(any::<bool>(), 1..64)) {
+        let diagnosed: Vec<bool> = truth
+            .iter()
+            .zip(flips.iter().cycle())
+            .map(|(&t, &f)| t ^ f)
+            .collect();
+        let acc = location_accuracy(&truth, &diagnosed);
+        prop_assert!((0.0..=1.0).contains(&acc.detection_rate));
+        prop_assert!((0.0..=1.0).contains(&acc.false_positive_rate));
+        let perfect = location_accuracy(&truth, &truth);
+        prop_assert_eq!(perfect.detection_rate, 1.0);
+        prop_assert_eq!(perfect.false_positive_rate, 0.0);
+    }
+
+    /// The empirical CDF is monotone, ends at 1, and agrees with the
+    /// point query.
+    #[test]
+    fn cdf_properties(values in proptest::collection::vec(0.0f64..10.0, 1..100)) {
+        let (xs, ps) = empirical_cdf(&values);
+        prop_assert_eq!(xs.len(), values.len());
+        prop_assert!(ps.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!((ps.last().unwrap() - 1.0).abs() < 1e-12);
+        for (x, p) in xs.iter().zip(ps.iter()) {
+            prop_assert!((cdf_at(&values, *x) - p).abs() < 1e-9);
+        }
+    }
+
+    /// Summaries respect ordering: min ≤ median ≤ max, all drawn from
+    /// the sample's range.
+    #[test]
+    fn summary_ordering(values in proptest::collection::vec(-5.0f64..5.0, 1..100)) {
+        let s = summarize(&values).unwrap();
+        prop_assert!(s.min <= s.median && s.median <= s.max);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min, lo);
+        prop_assert_eq!(s.max, hi);
+    }
+}

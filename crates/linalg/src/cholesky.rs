@@ -1,0 +1,156 @@
+//! Cholesky factorisation of symmetric positive-definite matrices.
+//!
+//! Used by the normal-equations least-squares backend
+//! ([`crate::lstsq::solve_normal_equations`]): Phase 1 of LIA solves
+//! `AᵀA v = Aᵀ Σ*` where `AᵀA` is `n_c × n_c` — far smaller than the
+//! `n_p(n_p+1)/2 × n_c` matrix `A` itself.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::triangular::{solve_lower_transposed, solve_lower_triangular};
+use crate::Result;
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors the symmetric positive-definite matrix `a`.
+    ///
+    /// Only the lower triangle of `a` is read. Returns
+    /// [`LinalgError::NotPositiveDefinite`] if a pivot is not strictly
+    /// positive (relative to the largest diagonal entry).
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m != n {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "Cholesky requires a square matrix, got {m}x{n}"
+            )));
+        }
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let max_diag = (0..n).fold(0.0_f64, |acc, i| acc.max(a[(i, i)].abs()));
+        let tol = 1e-13 * max_diag.max(1e-300);
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            // Diagonal entry.
+            let mut d = a[(j, j)];
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if d <= tol {
+                return Err(LinalgError::NotPositiveDefinite { index: j });
+            }
+            let ljj = d.sqrt();
+            l[(j, j)] = ljj;
+            // Column below the diagonal.
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / ljj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` via `L y = b`, `Lᵀ x = y`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "A is {n}x{n}, b has length {}",
+                b.len()
+            )));
+        }
+        let y = solve_lower_triangular(&self.l, b)?;
+        solve_lower_transposed(&self.l, &y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_of_identity_is_identity() {
+        let c = Cholesky::new(&Matrix::identity(3)).unwrap();
+        assert!(c.l().sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn factor_reproduces_matrix() {
+        // A = Bᵀ B + I is SPD for any B.
+        let b = Matrix::from_rows(&[
+            vec![1.0, 2.0, 0.0],
+            vec![0.5, -1.0, 3.0],
+        ])
+        .unwrap();
+        let mut a = b.gram();
+        for i in 0..3 {
+            a[(i, i)] += 1.0;
+        }
+        let c = Cholesky::new(&a).unwrap();
+        let llt = c.l().matmul(&c.l().transpose()).unwrap();
+        assert!(llt.sub(&a).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 2.0],
+            vec![2.0, 3.0],
+        ])
+        .unwrap();
+        let x_true = vec![1.0, -2.0];
+        let b = a.matvec(&x_true).unwrap();
+        let c = Cholesky::new(&a).unwrap();
+        let x = c.solve(&b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_positive_definite() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 1.0], // eigenvalues 3 and -1
+        ])
+        .unwrap();
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_semidefinite() {
+        // Rank-1 matrix: xxᵀ with x=[1,1].
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        assert!(Cholesky::new(&a).is_err());
+    }
+
+    #[test]
+    fn rejects_non_square_and_empty() {
+        assert!(Cholesky::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(matches!(
+            Cholesky::new(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty)
+        ));
+    }
+
+    #[test]
+    fn solve_checks_dimensions() {
+        let c = Cholesky::new(&Matrix::identity(2)).unwrap();
+        assert!(c.solve(&[1.0, 2.0, 3.0]).is_err());
+    }
+}

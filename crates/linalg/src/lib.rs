@@ -1,0 +1,50 @@
+//! Dense and sparse linear algebra substrate for `losstomo`.
+//!
+//! The loss-tomography pipeline of Nguyen & Thiran (IMC 2007) reduces to two
+//! linear-algebra workloads:
+//!
+//! 1. **Phase 1** solves the (usually overdetermined) moment system
+//!    `Σ* = A v` for the link variances `v`, where `A` is the augmented
+//!    routing matrix. The paper uses a Householder orthogonal–triangular
+//!    factorisation (Golub & Van Loan); we provide both that backend
+//!    ([`lstsq::solve_least_squares`]) and a normal-equations + Cholesky
+//!    backend ([`lstsq::solve_normal_equations`]) that is much faster when
+//!    `A` has many more rows than columns, which is the common case here
+//!    (`n_p(n_p+1)/2` rows vs `n_c` columns).
+//! 2. **Phase 2** needs a *rank-revealing* factorisation to decide when the
+//!    reduced routing matrix `R*` reaches full column rank
+//!    ([`pivoted_qr::PivotedQr`], [`rank::rank`]) and a least-squares solve
+//!    of the reduced first-moment system.
+//!
+//! Everything is implemented from scratch on top of a row-major dense
+//! [`Matrix`] and a CSR [`sparse::CsrMatrix`]; no external linear-algebra
+//! crates are used. The implementations favour clarity and robustness over
+//! micro-optimisation, in the spirit of the networking-Rust guides: no
+//! unsafe code, no macro tricks, extensive documentation and tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cholesky;
+pub mod error;
+pub mod givens;
+pub mod lstsq;
+pub mod matrix;
+pub mod pivoted_qr;
+pub mod qr;
+pub mod rank;
+pub mod sparse;
+pub mod triangular;
+pub mod vector;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use lstsq::{solve_least_squares, solve_normal_equations, LstsqBackend};
+pub use matrix::Matrix;
+pub use pivoted_qr::PivotedQr;
+pub use qr::Qr;
+pub use rank::{rank, rank_with_tol, DEFAULT_RANK_TOL};
+pub use sparse::CsrMatrix;
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,169 @@
+//! Unified least-squares front end with two backends.
+//!
+//! * [`LstsqBackend::HouseholderQr`] — the paper's method: factor the full
+//!   system matrix with Householder reflections and back-substitute.
+//!   Numerically the most robust choice; cost `O(m n²)` where `m` is the
+//!   number of rows (`n_p(n_p+1)/2` in Phase 1).
+//! * [`LstsqBackend::NormalEquations`] — form `AᵀA` and `Aᵀb` and solve
+//!   with Cholesky. Cost `O(m n² )` for the Gram accumulation but with a
+//!   much smaller constant, and it lets callers accumulate `AᵀA`
+//!   incrementally without materialising `A` (see
+//!   [`crate::sparse::CsrMatrix::gram_dense`]). Squares the condition
+//!   number, which is acceptable here because routing matrices are
+//!   well-scaled 0/1 matrices.
+//!
+//! The ablation bench `bench_lstsq_backends` compares the two.
+
+use crate::cholesky::Cholesky;
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::qr::Qr;
+use crate::Result;
+
+/// Which algorithm [`solve_least_squares_with`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LstsqBackend {
+    /// Householder QR on the full matrix (the paper's choice).
+    #[default]
+    HouseholderQr,
+    /// Normal equations `AᵀA x = Aᵀ b` solved with Cholesky.
+    NormalEquations,
+}
+
+/// Solves `min ‖A x − b‖₂` with the default (Householder QR) backend.
+///
+/// `A` must be tall (or square) with full column rank.
+pub fn solve_least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    solve_least_squares_with(a, b, LstsqBackend::HouseholderQr)
+}
+
+/// Solves `min ‖A x − b‖₂` via the normal equations.
+pub fn solve_normal_equations(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    solve_least_squares_with(a, b, LstsqBackend::NormalEquations)
+}
+
+/// Solves `min ‖A x − b‖₂` with an explicit backend choice.
+pub fn solve_least_squares_with(
+    a: &Matrix,
+    b: &[f64],
+    backend: LstsqBackend,
+) -> Result<Vec<f64>> {
+    if b.len() != a.rows() {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "A is {}x{}, b has length {}",
+            a.rows(),
+            a.cols(),
+            b.len()
+        )));
+    }
+    match backend {
+        LstsqBackend::HouseholderQr => Qr::new(a)?.solve_least_squares(b),
+        LstsqBackend::NormalEquations => {
+            let gram = a.gram();
+            let atb = a.matvec_transposed(b)?;
+            solve_spd(&gram, &atb)
+        }
+    }
+}
+
+/// Solves the symmetric positive-definite system `G x = c` (e.g. normal
+/// equations that were accumulated externally).
+pub fn solve_spd(gram: &Matrix, c: &[f64]) -> Result<Vec<f64>> {
+    Cholesky::new(gram)?.solve(c)
+}
+
+/// Computes the residual 2-norm `‖A x − b‖₂` of a candidate solution —
+/// handy for tests and for the cross-validation harness.
+pub fn residual_norm(a: &Matrix, x: &[f64], b: &[f64]) -> Result<f64> {
+    let ax = a.matvec(x)?;
+    if ax.len() != b.len() {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "Ax has length {}, b has length {}",
+            ax.len(),
+            b.len()
+        )));
+    }
+    Ok(ax
+        .iter()
+        .zip(b.iter())
+        .map(|(p, q)| (p - q) * (p - q))
+        .sum::<f64>()
+        .sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tall_example() -> (Matrix, Vec<f64>) {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+            vec![1.0, 4.0],
+        ])
+        .unwrap();
+        let b = vec![6.0, 5.0, 7.0, 10.0];
+        (a, b)
+    }
+
+    #[test]
+    fn backends_agree_on_well_conditioned_problem() {
+        let (a, b) = tall_example();
+        let x_qr = solve_least_squares(&a, &b).unwrap();
+        let x_ne = solve_normal_equations(&a, &b).unwrap();
+        for (p, q) in x_qr.iter().zip(x_ne.iter()) {
+            assert!((p - q).abs() < 1e-9, "{x_qr:?} vs {x_ne:?}");
+        }
+        // Known closed-form: intercept 3.5, slope 1.4.
+        assert!((x_qr[0] - 3.5).abs() < 1e-10);
+        assert!((x_qr[1] - 1.4).abs() < 1e-10);
+    }
+
+    #[test]
+    fn default_backend_is_householder() {
+        assert_eq!(LstsqBackend::default(), LstsqBackend::HouseholderQr);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let (a, _) = tall_example();
+        assert!(solve_least_squares(&a, &[1.0]).is_err());
+        assert!(solve_normal_equations(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn rank_deficient_rejected_by_both_backends() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+        ])
+        .unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        assert!(solve_least_squares(&a, &b).is_err());
+        assert!(solve_normal_equations(&a, &b).is_err());
+    }
+
+    #[test]
+    fn residual_norm_zero_for_consistent_system() {
+        let (a, _) = tall_example();
+        let x = vec![1.0, 2.0];
+        let b = a.matvec(&x).unwrap();
+        assert!(residual_norm(&a, &x, &b).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn residual_norm_checks_dimensions() {
+        let (a, _) = tall_example();
+        assert!(residual_norm(&a, &[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn solve_spd_direct() {
+        let g = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 5.0]]).unwrap();
+        let x = solve_spd(&g, &[4.0, 10.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+}

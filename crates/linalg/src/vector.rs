@@ -1,0 +1,146 @@
+//! Small dense-vector helpers used by the factorisations and the
+//! tomography pipeline (dot products, norms, AXPY updates).
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics in debug builds if the lengths differ; in release builds the
+/// shorter length wins (standard `zip` semantics), so callers must ensure
+/// equal lengths.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// L1 norm (sum of absolute values).
+#[inline]
+pub fn norm1(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// Infinity norm (maximum absolute value); 0 for an empty slice.
+#[inline]
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+}
+
+/// `y ← y + alpha * x` (AXPY update).
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x ← alpha * x`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Element-wise difference `a - b` as a new vector.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Unbiased sample variance (divides by `n - 1`); 0 for fewer than two
+/// samples.
+pub fn sample_variance(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (a.len() - 1) as f64
+}
+
+/// Unbiased sample covariance of two equal-length series; 0 for fewer than
+/// two samples.
+pub fn sample_covariance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let ma = mean(a);
+    let mb = mean(b);
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - ma) * (y - mb))
+        .sum::<f64>()
+        / (a.len() - 1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        let a = [3.0, 4.0];
+        assert_eq!(dot(&a, &a), 25.0);
+        assert_eq!(norm2(&a), 5.0);
+        assert_eq!(norm1(&a), 7.0);
+        assert_eq!(norm_inf(&a), 4.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    fn sub_elementwise() {
+        assert_eq!(sub(&[3.0, 2.0], &[1.0, 5.0]), vec![2.0, -3.0]);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(sample_variance(&[5.0]), 0.0);
+        // Var of {1, 2, 3} with n-1 denominator is 1.
+        assert!((sample_variance(&[1.0, 2.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_of_identical_series_is_variance() {
+        let a = [1.0, 2.0, 4.0, 8.0];
+        assert!((sample_covariance(&a, &a) - sample_variance(&a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_of_anticorrelated_series_is_negative() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        assert!(sample_covariance(&a, &b) < 0.0);
+    }
+}

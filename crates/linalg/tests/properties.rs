@@ -1,0 +1,117 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use losstomo_linalg::{
+    lstsq, rank, sparse::CsrBuilder, Cholesky, Matrix, PivotedQr, Qr,
+};
+use proptest::prelude::*;
+
+/// Strategy: a tall random matrix with entries in [-10, 10].
+fn tall_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..=5, 0usize..=4).prop_flat_map(|(cols, extra)| {
+        let rows = cols + extra;
+        proptest::collection::vec(-10.0f64..10.0, rows * cols)
+            .prop_map(move |data| Matrix::from_vec(rows, cols, data).unwrap())
+    })
+}
+
+fn any_matrix() -> impl Strategy<Value = Matrix> {
+    (1usize..=6, 1usize..=6).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(-10.0f64..10.0, rows * cols)
+            .prop_map(move |data| Matrix::from_vec(rows, cols, data).unwrap())
+    })
+}
+
+proptest! {
+    /// QR reproduces A: ‖QR − A‖∞ is tiny relative to ‖A‖.
+    #[test]
+    fn qr_reconstructs(a in tall_matrix()) {
+        let qr = Qr::new(&a).unwrap();
+        let prod = qr.q_thin().matmul(&qr.r()).unwrap();
+        let err = prod.sub(&a).unwrap().max_abs();
+        prop_assert!(err <= 1e-9 * (1.0 + a.max_abs()));
+    }
+
+    /// Q has orthonormal columns.
+    #[test]
+    fn qr_orthonormal(a in tall_matrix()) {
+        let qr = Qr::new(&a).unwrap();
+        let q = qr.q_thin();
+        let qtq = q.transpose().matmul(&q).unwrap();
+        let err = qtq.sub(&Matrix::identity(a.cols())).unwrap().max_abs();
+        prop_assert!(err < 1e-9);
+    }
+
+    /// rank(A) = rank(Aᵀ), and rank ≤ min(m, n).
+    #[test]
+    fn rank_transpose_invariant(a in any_matrix()) {
+        let r1 = rank(&a);
+        let r2 = rank(&a.transpose());
+        prop_assert_eq!(r1, r2);
+        prop_assert!(r1 <= a.rows().min(a.cols()));
+    }
+
+    /// Appending a duplicated column never increases the rank.
+    #[test]
+    fn duplicate_column_keeps_rank(a in any_matrix(), col in 0usize..6) {
+        let j = col % a.cols();
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(a.rows());
+        for i in 0..a.rows() {
+            let mut r = a.row(i).to_vec();
+            r.push(a[(i, j)]);
+            rows.push(r);
+        }
+        let extended = Matrix::from_rows(&rows).unwrap();
+        prop_assert_eq!(rank(&extended), rank(&a));
+    }
+
+    /// The least-squares solution zeroes the gradient Aᵀ(Ax−b) when A has
+    /// full column rank.
+    #[test]
+    fn lstsq_normal_equations_hold(a in tall_matrix(),
+                                   seed in proptest::collection::vec(-5.0f64..5.0, 0..16)) {
+        prop_assume!(rank(&a) == a.cols());
+        let mut b = vec![0.0; a.rows()];
+        for (i, bi) in b.iter_mut().enumerate() {
+            *bi = seed.get(i).copied().unwrap_or(1.0);
+        }
+        // Skip pathologically ill-conditioned draws.
+        let qr = PivotedQr::new(&a).unwrap();
+        prop_assume!(qr.pivot_magnitude(a.cols() - 1) > 1e-6 * qr.pivot_magnitude(0));
+        let x = lstsq::solve_least_squares(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let resid: Vec<f64> = ax.iter().zip(b.iter()).map(|(p, q)| p - q).collect();
+        let grad = a.matvec_transposed(&resid).unwrap();
+        let scale = 1.0 + a.max_abs() * a.max_abs();
+        prop_assert!(grad.iter().all(|g| g.abs() < 1e-6 * scale), "grad={grad:?}");
+    }
+
+    /// Cholesky of G = AᵀA + I reproduces G and solves correctly.
+    #[test]
+    fn cholesky_solve_round_trip(a in tall_matrix()) {
+        let mut g = a.gram();
+        for i in 0..g.rows() {
+            g[(i, i)] += 1.0;
+        }
+        let chol = Cholesky::new(&g).unwrap();
+        let x_true: Vec<f64> = (0..g.rows()).map(|i| (i as f64) - 1.5).collect();
+        let b = g.matvec(&x_true).unwrap();
+        let x = chol.solve(&b).unwrap();
+        for (p, q) in x.iter().zip(x_true.iter()) {
+            prop_assert!((p - q).abs() < 1e-6 * (1.0 + q.abs()));
+        }
+    }
+
+    /// Sparse gram equals dense gram for random binary matrices.
+    #[test]
+    fn sparse_gram_matches_dense(
+        rows in proptest::collection::vec(proptest::collection::vec(0usize..8, 0..6), 1..10)
+    ) {
+        let mut builder = CsrBuilder::new(8);
+        for r in &rows {
+            builder.push_binary_row(r).unwrap();
+        }
+        let sp = builder.build();
+        let err = sp.gram_dense().sub(&sp.to_dense().gram()).unwrap().max_abs();
+        prop_assert!(err < 1e-12);
+    }
+}

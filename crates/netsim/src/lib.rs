@@ -1,0 +1,36 @@
+//! Packet-level network loss simulator for `losstomo`.
+//!
+//! Everything Section 6 (simulation) and Section 7 (PlanetLab
+//! methodology) of Nguyen & Thiran (IMC 2007) need from the measurement
+//! side, built as a substitute for the real testbed (see DESIGN.md):
+//!
+//! * [`loss`] — per-link Gilbert (bursty) and Bernoulli loss processes;
+//! * [`models`] — the LLRD1/LLRD2 loss-rate assignment models with the
+//!   `t_l = 0.002` good/congested threshold;
+//! * [`scenario`] — congested-set evolution across snapshots (fixed,
+//!   iid redraw, or Markov persistence);
+//! * [`engine`] — the probe engine: `S` periodic probes per path per
+//!   snapshot, per-link chains advanced per arriving packet;
+//! * [`snapshot`] — measurement containers and ground truth;
+//! * [`packet`] — the 40-byte UDP probe wire format of Section 7.1;
+//! * [`traceroute`] — topology discovery with anonymous routers and
+//!   unresolved interface aliases.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delay;
+pub mod engine;
+pub mod loss;
+pub mod models;
+pub mod packet;
+pub mod scenario;
+pub mod snapshot;
+pub mod traceroute;
+
+pub use engine::{simulate_run, simulate_snapshot, ChainAdvance, ProbeConfig};
+pub use loss::{BernoulliProcess, GilbertProcess, LossProcess, LossProcessKind};
+pub use models::{LossModel, DEFAULT_LOSS_THRESHOLD};
+pub use scenario::{CongestionDynamics, CongestionScenario};
+pub use snapshot::{LinkTruth, MeasurementSet, Snapshot};
+pub use traceroute::{observe, ObservedTopology, TracerouteConfig};

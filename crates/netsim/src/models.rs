@@ -1,0 +1,98 @@
+//! Link loss-rate assignment models (LLRD1 / LLRD2).
+//!
+//! From Section 6: "We use the loss rate model LLRD1 of [Padmanabhan et
+//! al. 2003] where congested links have loss rates uniformly distributed
+//! in [0.05, 0.2] and good links have loss rates in [0, 0.002]. We also
+//! evaluate our method with the loss rate model LLRD2 ..., where loss
+//! rates of congested links vary over a wider range of [0.002, 1]. In
+//! both models, there is a loss rate threshold t_l = 0.002 that separates
+//! good and congested links."
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The loss-rate threshold `t_l` separating good and congested links in
+/// both LLRD models.
+pub const DEFAULT_LOSS_THRESHOLD: f64 = 0.002;
+
+/// Which loss-rate model assigns per-snapshot rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum LossModel {
+    /// Congested links: `U[0.05, 0.2]`; good links: `U[0, 0.002]`.
+    #[default]
+    Llrd1,
+    /// Congested links: `U[0.002, 1]`; good links: `U[0, 0.002]`.
+    Llrd2,
+}
+
+impl LossModel {
+    /// The threshold `t_l` classifying links as good/congested.
+    pub fn threshold(self) -> f64 {
+        DEFAULT_LOSS_THRESHOLD
+    }
+
+    /// Draws a loss rate for a congested link.
+    pub fn draw_congested<R: Rng>(self, rng: &mut R) -> f64 {
+        match self {
+            LossModel::Llrd1 => rng.gen_range(0.05..0.2),
+            LossModel::Llrd2 => rng.gen_range(DEFAULT_LOSS_THRESHOLD..1.0),
+        }
+    }
+
+    /// Draws a loss rate for a good (un-congested) link.
+    pub fn draw_good<R: Rng>(self, rng: &mut R) -> f64 {
+        match self {
+            LossModel::Llrd1 | LossModel::Llrd2 => rng.gen_range(0.0..DEFAULT_LOSS_THRESHOLD),
+        }
+    }
+
+    /// Classifies a loss rate against the threshold.
+    pub fn is_congested_rate(self, rate: f64) -> bool {
+        rate > self.threshold()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn llrd1_ranges() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let c = LossModel::Llrd1.draw_congested(&mut rng);
+            assert!((0.05..0.2).contains(&c));
+            let g = LossModel::Llrd1.draw_good(&mut rng);
+            assert!((0.0..DEFAULT_LOSS_THRESHOLD).contains(&g));
+        }
+    }
+
+    #[test]
+    fn llrd2_ranges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let c = LossModel::Llrd2.draw_congested(&mut rng);
+            assert!((DEFAULT_LOSS_THRESHOLD..1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn congested_rates_exceed_good_rates() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for model in [LossModel::Llrd1, LossModel::Llrd2] {
+            let c = model.draw_congested(&mut rng);
+            let g = model.draw_good(&mut rng);
+            assert!(c > g);
+            assert!(model.is_congested_rate(c));
+            assert!(!model.is_congested_rate(g));
+        }
+    }
+
+    #[test]
+    fn threshold_is_paper_value() {
+        assert_eq!(LossModel::Llrd1.threshold(), 0.002);
+        assert_eq!(LossModel::Llrd2.threshold(), 0.002);
+    }
+}

@@ -1,0 +1,146 @@
+//! Random tree topologies (Section 6.1).
+//!
+//! "We first perform our simulations on tree topologies of 1000 unique
+//! nodes, with the maximum branching ratio of 10. The beacon is located
+//! at the root and the probing destinations D are the leaves."
+
+use super::GeneratedTopology;
+use crate::graph::{Graph, NodeId, NodeKind};
+use rand::Rng;
+
+/// Parameters for [`generate`].
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Total number of nodes (root + interior + leaves).
+    pub nodes: usize,
+    /// Maximum number of children per node.
+    pub max_branching: usize,
+}
+
+impl Default for TreeParams {
+    /// The paper's configuration: 1000 nodes, branching ratio ≤ 10.
+    fn default() -> Self {
+        TreeParams {
+            nodes: 1000,
+            max_branching: 10,
+        }
+    }
+}
+
+/// Generates a uniformly random recursive tree respecting the branching
+/// bound. Links are directed root→leaves only (probes flow downward).
+/// The root is the single beacon; every leaf is a destination.
+pub fn generate<R: Rng>(params: TreeParams, rng: &mut R) -> GeneratedTopology {
+    assert!(params.nodes >= 2, "a tree needs at least two nodes");
+    assert!(params.max_branching >= 1, "branching ratio must be >= 1");
+    let mut g = Graph::new();
+    let root = g.add_node(NodeKind::Host);
+    // Nodes that can still accept children.
+    let mut open: Vec<NodeId> = vec![root];
+    let mut child_count = vec![0usize; params.nodes];
+    for _ in 1..params.nodes {
+        let slot = rng.gen_range(0..open.len());
+        let parent = open[slot];
+        let node = g.add_node(NodeKind::Router);
+        child_count.push(0);
+        g.add_link(parent, node);
+        child_count[parent.index()] += 1;
+        if child_count[parent.index()] >= params.max_branching {
+            open.swap_remove(slot);
+        }
+        open.push(node);
+    }
+    // Leaves become hosts/destinations.
+    let mut destinations = Vec::new();
+    for i in 0..g.node_count() {
+        let id = NodeId(i as u32);
+        if id != root && g.out_degree(id) == 0 {
+            g.node_mut(id).kind = NodeKind::Host;
+            destinations.push(id);
+        }
+    }
+    GeneratedTopology {
+        graph: g,
+        beacons: vec![root],
+        destinations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tree_has_requested_size() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = generate(
+            TreeParams {
+                nodes: 100,
+                max_branching: 4,
+            },
+            &mut rng,
+        );
+        assert_eq!(t.graph.node_count(), 100);
+        assert_eq!(t.graph.link_count(), 99); // tree edges, one direction
+        assert_eq!(t.beacons.len(), 1);
+        assert!(!t.destinations.is_empty());
+    }
+
+    #[test]
+    fn branching_bound_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = generate(
+            TreeParams {
+                nodes: 500,
+                max_branching: 3,
+            },
+            &mut rng,
+        );
+        for n in t.graph.nodes() {
+            assert!(t.graph.out_degree(n.id) <= 3, "node {:?} too wide", n.id);
+        }
+    }
+
+    #[test]
+    fn every_leaf_is_a_destination_and_host() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = generate(
+            TreeParams {
+                nodes: 50,
+                max_branching: 10,
+            },
+            &mut rng,
+        );
+        for &d in &t.destinations {
+            assert_eq!(t.graph.out_degree(d), 0);
+            assert_eq!(t.graph.node(d).kind, NodeKind::Host);
+        }
+        // Interior nodes are not destinations.
+        let leaf_count = (0..t.graph.node_count())
+            .filter(|&i| i != 0 && t.graph.out_degree(NodeId(i as u32)) == 0)
+            .count();
+        assert_eq!(leaf_count, t.destinations.len());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let t1 = generate(TreeParams::default(), &mut StdRng::seed_from_u64(9));
+        let t2 = generate(TreeParams::default(), &mut StdRng::seed_from_u64(9));
+        assert_eq!(t1.graph.link_count(), t2.graph.link_count());
+        assert_eq!(t1.destinations, t2.destinations);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_degenerate_size() {
+        generate(
+            TreeParams {
+                nodes: 1,
+                max_branching: 2,
+            },
+            &mut StdRng::seed_from_u64(0),
+        );
+    }
+}

@@ -1,0 +1,323 @@
+//! Directed-graph model of the measured network (Section 3.1 of the
+//! paper): nodes are routers/hosts, edges are unidirectional communication
+//! links.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node (router or end-host).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// Identifier of a directed physical link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub u32);
+
+impl NodeId {
+    /// The index of this node in [`Graph::nodes`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl LinkId {
+    /// The index of this link in [`Graph::links`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a node is, from the measurement system's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An interior router; cannot originate or sink probes.
+    Router,
+    /// An end-host that can act as beacon and/or probing destination.
+    Host,
+}
+
+/// A node of the measured network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// This node's id (equal to its index in the graph).
+    pub id: NodeId,
+    /// Router or end-host.
+    pub kind: NodeKind,
+    /// Autonomous-system number, when the generator assigns one
+    /// (hierarchical / DIMES-like topologies). Used by the Table-3
+    /// inter-/intra-AS analysis.
+    pub as_id: Option<u32>,
+    /// Euclidean position for geometric generators (Waxman).
+    pub pos: Option<(f64, f64)>,
+}
+
+/// A directed link `src → dst`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Link {
+    /// This link's id (equal to its index in the graph).
+    pub id: LinkId,
+    /// Tail node.
+    pub src: NodeId,
+    /// Head node.
+    pub dst: NodeId,
+}
+
+/// A directed graph with adjacency indexed both ways.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    /// Outgoing links per node.
+    out_adj: Vec<Vec<LinkId>>,
+    /// Incoming links per node.
+    in_adj: Vec<Vec<LinkId>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            id,
+            kind,
+            as_id: None,
+            pos: None,
+        });
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Adds a node with an AS assignment.
+    pub fn add_node_in_as(&mut self, kind: NodeKind, as_id: u32) -> NodeId {
+        let id = self.add_node(kind);
+        self.nodes[id.index()].as_id = Some(as_id);
+        id
+    }
+
+    /// Adds a directed link `src → dst` and returns its id.
+    ///
+    /// # Panics
+    /// Panics if either endpoint does not exist.
+    pub fn add_link(&mut self, src: NodeId, dst: NodeId) -> LinkId {
+        assert!(src.index() < self.nodes.len(), "src node out of range");
+        assert!(dst.index() < self.nodes.len(), "dst node out of range");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link { id, src, dst });
+        self.out_adj[src.index()].push(id);
+        self.in_adj[dst.index()].push(id);
+        id
+    }
+
+    /// Adds the pair of directed links `a → b` and `b → a`, returning
+    /// `(a→b, b→a)`. Physical topologies are undirected; measurement
+    /// paths use one direction of each cable.
+    pub fn add_duplex(&mut self, a: NodeId, b: NodeId) -> (LinkId, LinkId) {
+        (self.add_link(a, b), self.add_link(b, a))
+    }
+
+    /// Whether a directed link `src → dst` already exists.
+    pub fn has_link(&self, src: NodeId, dst: NodeId) -> bool {
+        self.out_adj[src.index()]
+            .iter()
+            .any(|&l| self.links[l.index()].dst == dst)
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Node lookup.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable node lookup.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Link lookup.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Number of nodes (`n_v` in the paper).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed links (`n_e` in the paper).
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Outgoing links of `n`, in insertion order.
+    pub fn out_links(&self, n: NodeId) -> &[LinkId] {
+        &self.out_adj[n.index()]
+    }
+
+    /// Incoming links of `n`, in insertion order.
+    pub fn in_links(&self, n: NodeId) -> &[LinkId] {
+        &self.in_adj[n.index()]
+    }
+
+    /// Out-degree of `n`.
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.out_adj[n.index()].len()
+    }
+
+    /// Total degree (in + out) of `n`.
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.out_adj[n.index()].len() + self.in_adj[n.index()].len()
+    }
+
+    /// Ids of all host nodes.
+    pub fn hosts(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Host)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// `true` if the link joins two different ASes (either endpoint
+    /// missing an AS id counts as unknown → `None`).
+    pub fn link_is_inter_as(&self, id: LinkId) -> Option<bool> {
+        let l = self.link(id);
+        let a = self.node(l.src).as_id?;
+        let b = self.node(l.dst).as_id?;
+        Some(a != b)
+    }
+
+    /// `true` if every node can reach every other node following
+    /// directed links (strong connectivity via double BFS on the
+    /// underlying simple digraph).
+    pub fn is_strongly_connected(&self) -> bool {
+        let n = self.node_count();
+        if n == 0 {
+            return true;
+        }
+        let reach_fwd = self.bfs_reach(NodeId(0), false);
+        let reach_bwd = self.bfs_reach(NodeId(0), true);
+        reach_fwd.iter().all(|&r| r) && reach_bwd.iter().all(|&r| r)
+    }
+
+    fn bfs_reach(&self, start: NodeId, reversed: bool) -> Vec<bool> {
+        let mut seen = vec![false; self.node_count()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[start.index()] = true;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            let adj = if reversed {
+                &self.in_adj[u.index()]
+            } else {
+                &self.out_adj[u.index()]
+            };
+            for &l in adj {
+                let link = self.link(l);
+                let v = if reversed { link.src } else { link.dst };
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Host);
+        let b = g.add_node(NodeKind::Router);
+        let c = g.add_node(NodeKind::Host);
+        g.add_duplex(a, b);
+        g.add_duplex(b, c);
+        g.add_duplex(c, a);
+        g
+    }
+
+    #[test]
+    fn add_nodes_and_links() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.link_count(), 6);
+        assert_eq!(g.out_degree(NodeId(0)), 2);
+        assert_eq!(g.degree(NodeId(1)), 4);
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let g = triangle();
+        for link in g.links() {
+            assert!(g.out_links(link.src).contains(&link.id));
+            assert!(g.in_links(link.dst).contains(&link.id));
+        }
+    }
+
+    #[test]
+    fn has_link_checks_direction() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Host);
+        let b = g.add_node(NodeKind::Host);
+        g.add_link(a, b);
+        assert!(g.has_link(a, b));
+        assert!(!g.has_link(b, a));
+    }
+
+    #[test]
+    fn hosts_filters_by_kind() {
+        let g = triangle();
+        assert_eq!(g.hosts(), vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn strong_connectivity() {
+        let g = triangle();
+        assert!(g.is_strongly_connected());
+        let mut g2 = Graph::new();
+        let a = g2.add_node(NodeKind::Host);
+        let b = g2.add_node(NodeKind::Host);
+        g2.add_link(a, b); // one way only
+        assert!(!g2.is_strongly_connected());
+    }
+
+    #[test]
+    fn inter_as_detection() {
+        let mut g = Graph::new();
+        let a = g.add_node_in_as(NodeKind::Router, 1);
+        let b = g.add_node_in_as(NodeKind::Router, 2);
+        let c = g.add_node(NodeKind::Router); // no AS
+        let l_ab = g.add_link(a, b);
+        let l_ac = g.add_link(a, c);
+        assert_eq!(g.link_is_inter_as(l_ab), Some(true));
+        assert_eq!(g.link_is_inter_as(l_ac), None);
+        let l_aa = g.add_link(a, a);
+        assert_eq!(g.link_is_inter_as(l_aa), Some(false));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_link_panics_on_missing_node() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Host);
+        g.add_link(a, NodeId(5));
+    }
+}

@@ -1,0 +1,261 @@
+//! End-to-end measurement paths.
+
+use crate::graph::{Graph, LinkId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Index of a path in a [`PathSet`] (a row of the routing matrix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PathId(pub u32);
+
+impl PathId {
+    /// The index of this path in its [`PathSet`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A loop-free source→destination path through the directed graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Path {
+    /// Originating beacon.
+    pub src: NodeId,
+    /// Probing destination.
+    pub dst: NodeId,
+    /// The traversed directed links, in order from `src` to `dst`.
+    pub links: Vec<LinkId>,
+}
+
+impl Path {
+    /// Number of links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// `true` if the path has no links (degenerate; never produced by the
+    /// routing layer, but constructible by hand).
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Validates the path against the graph: consecutive links must chain
+    /// from `src` to `dst` and no node may repeat.
+    pub fn validate(&self, g: &Graph) -> bool {
+        let mut current = self.src;
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(current);
+        for &l in &self.links {
+            let link = g.link(l);
+            if link.src != current {
+                return false;
+            }
+            current = link.dst;
+            if !seen.insert(current) {
+                return false; // loop
+            }
+        }
+        current == self.dst
+    }
+}
+
+/// The set `P` of all beacon→destination paths, in a fixed order that
+/// defines the rows of the routing matrix.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PathSet {
+    paths: Vec<Path>,
+}
+
+impl PathSet {
+    /// Creates an empty path set.
+    pub fn new() -> Self {
+        PathSet::default()
+    }
+
+    /// Appends a path, returning its id.
+    pub fn push(&mut self, p: Path) -> PathId {
+        let id = PathId(self.paths.len() as u32);
+        self.paths.push(p);
+        id
+    }
+
+    /// Number of paths (`n_p` in the paper).
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// `true` when no path has been added.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Path lookup.
+    pub fn path(&self, id: PathId) -> &Path {
+        &self.paths[id.index()]
+    }
+
+    /// Iterates over `(id, path)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PathId, &Path)> {
+        self.paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (PathId(i as u32), p))
+    }
+
+    /// All paths as a slice.
+    pub fn paths(&self) -> &[Path] {
+        &self.paths
+    }
+
+    /// Removes the paths whose ids are in `drop` (sorted or not),
+    /// renumbering the survivors and returning the old→new id mapping
+    /// (`None` for removed paths).
+    pub fn remove_paths(&mut self, drop: &[PathId]) -> Vec<Option<PathId>> {
+        let mut dead = vec![false; self.paths.len()];
+        for &d in drop {
+            if d.index() < dead.len() {
+                dead[d.index()] = true;
+            }
+        }
+        let mut mapping = Vec::with_capacity(self.paths.len());
+        let mut kept = Vec::with_capacity(self.paths.len());
+        for (i, p) in self.paths.drain(..).enumerate() {
+            if dead[i] {
+                mapping.push(None);
+            } else {
+                mapping.push(Some(PathId(kept.len() as u32)));
+                kept.push(p);
+            }
+        }
+        self.paths = kept;
+        mapping
+    }
+
+    /// The set of links covered by at least one path (the paper's `E_c`),
+    /// sorted by link id.
+    pub fn covered_links(&self) -> Vec<LinkId> {
+        let mut set: Vec<LinkId> = self
+            .paths
+            .iter()
+            .flat_map(|p| p.links.iter().copied())
+            .collect();
+        set.sort_unstable();
+        set.dedup();
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Graph, NodeKind};
+
+    fn line_graph() -> (Graph, Vec<NodeId>, Vec<LinkId>) {
+        // a -> b -> c
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Host);
+        let b = g.add_node(NodeKind::Router);
+        let c = g.add_node(NodeKind::Host);
+        let l1 = g.add_link(a, b);
+        let l2 = g.add_link(b, c);
+        (g, vec![a, b, c], vec![l1, l2])
+    }
+
+    #[test]
+    fn validate_accepts_chained_path() {
+        let (g, nodes, links) = line_graph();
+        let p = Path {
+            src: nodes[0],
+            dst: nodes[2],
+            links: links.clone(),
+        };
+        assert!(p.validate(&g));
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_broken_chain() {
+        let (g, nodes, links) = line_graph();
+        let p = Path {
+            src: nodes[0],
+            dst: nodes[2],
+            links: vec![links[1], links[0]], // wrong order
+        };
+        assert!(!p.validate(&g));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_destination() {
+        let (g, nodes, links) = line_graph();
+        let p = Path {
+            src: nodes[0],
+            dst: nodes[1],
+            links: links.clone(),
+        };
+        assert!(!p.validate(&g));
+    }
+
+    #[test]
+    fn validate_rejects_loops() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Host);
+        let b = g.add_node(NodeKind::Router);
+        let ab = g.add_link(a, b);
+        let ba = g.add_link(b, a);
+        let p = Path {
+            src: a,
+            dst: a,
+            links: vec![ab, ba],
+        };
+        assert!(!p.validate(&g));
+    }
+
+    #[test]
+    fn pathset_push_and_lookup() {
+        let (_, nodes, links) = line_graph();
+        let mut ps = PathSet::new();
+        let id = ps.push(Path {
+            src: nodes[0],
+            dst: nodes[2],
+            links,
+        });
+        assert_eq!(id, PathId(0));
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps.path(id).src, nodes[0]);
+    }
+
+    #[test]
+    fn covered_links_dedups() {
+        let (_, nodes, links) = line_graph();
+        let mut ps = PathSet::new();
+        ps.push(Path {
+            src: nodes[0],
+            dst: nodes[2],
+            links: links.clone(),
+        });
+        ps.push(Path {
+            src: nodes[0],
+            dst: nodes[1],
+            links: vec![links[0]],
+        });
+        assert_eq!(ps.covered_links(), links);
+    }
+
+    #[test]
+    fn remove_paths_renumbers() {
+        let (_, nodes, links) = line_graph();
+        let mut ps = PathSet::new();
+        for _ in 0..3 {
+            ps.push(Path {
+                src: nodes[0],
+                dst: nodes[2],
+                links: links.clone(),
+            });
+        }
+        let mapping = ps.remove_paths(&[PathId(1)]);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(mapping[0], Some(PathId(0)));
+        assert_eq!(mapping[1], None);
+        assert_eq!(mapping[2], Some(PathId(1)));
+    }
+}

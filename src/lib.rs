@@ -1,0 +1,62 @@
+//! # losstomo
+//!
+//! A from-scratch Rust implementation of **"Network Loss Inference with
+//! Second Order Statistics of End-to-End Flows"** (Hung X. Nguyen and
+//! Patrick Thiran, IMC 2007): infer per-link packet loss rates from
+//! nothing but regular unicast end-to-end measurements, by exploiting
+//! the *spatial covariance* of path loss rates.
+//!
+//! This facade crate re-exports the four member crates:
+//!
+//! * [`linalg`] — dense/sparse linear algebra (Householder QR, pivoted
+//!   QR, Cholesky, least squares, rank estimation);
+//! * [`topology`] — graph model, BRITE-like generators, routing, alias
+//!   reduction, routing matrices, flutter filtering;
+//! * [`netsim`] — Gilbert/Bernoulli loss simulation, LLRD models, the
+//!   probe engine, probe wire format and traceroute error model;
+//! * [`core`] — the LIA algorithm (variance learning + rank-reduced
+//!   first-moment inversion), baselines, metrics and analyses.
+//!
+//! See `examples/quickstart.rs` for a complete end-to-end walkthrough,
+//! and the `losstomo-bench` crate for a binary per paper table/figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use losstomo_core as core;
+pub use losstomo_linalg as linalg;
+pub use losstomo_netsim as netsim;
+pub use losstomo_topology as topology;
+
+/// One-stop imports for the common pipeline.
+pub mod prelude {
+    pub use losstomo_core::{
+        check_identifiability, cross_validate, estimate_delay_variances, estimate_variances,
+        infer_link_delays, infer_link_rates, location_accuracy, run_experiment, run_many,
+        scfs_diagnose, AugmentedSystem, CenteredMeasurements, CrossValidationConfig,
+        DelayEstimate, EliminationStrategy, ExperimentConfig, LiaConfig, LinkRateEstimate,
+        ScfsConfig, VarianceConfig,
+    };
+    pub use losstomo_netsim::{
+        simulate_run, simulate_snapshot, ChainAdvance, CongestionDynamics,
+        CongestionScenario, LossModel, LossProcessKind, MeasurementSet, ProbeConfig,
+        Snapshot, TracerouteConfig,
+    };
+    pub use losstomo_topology::{
+        compute_paths, reduce, Graph, LinkId, NodeId, NodeKind, Path, PathId, PathSet,
+        ReducedTopology,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_pipeline_types() {
+        use crate::prelude::*;
+        // Compile-time check that the core types are reachable.
+        let _cfg = LiaConfig::default();
+        let _v = VarianceConfig::default();
+        let _p = ProbeConfig::default();
+        let _x = CrossValidationConfig::default();
+    }
+}

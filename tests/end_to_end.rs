@@ -1,0 +1,183 @@
+//! Integration tests: the full pipeline across all four crates.
+
+use losstomo::prelude::*;
+use losstomo::topology::fixtures;
+use losstomo::topology::gen::tree::{self, TreeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Noise-free sanity check on the Figure-1 fixture: with oracle
+/// variances, Phase 2 recovers the exact loss rates of the congested
+/// links and assigns zero to the rest.
+#[test]
+fn noiseless_phase2_recovers_exact_rates() {
+    let red = fixtures::reduced(&fixtures::figure1());
+    let phi = [0.85_f64, 1.0, 0.92, 1.0, 1.0];
+    let x: Vec<f64> = phi.iter().map(|p| p.ln()).collect();
+    let y = red.matrix.to_dense().matvec(&x).unwrap();
+    let variances = [0.4, 0.0, 0.2, 0.0, 0.0];
+    let est = infer_link_rates(&red, &variances, &y, &LiaConfig::default()).unwrap();
+    for (k, (&est_phi, &true_phi)) in est.transmission.iter().zip(phi.iter()).enumerate() {
+        assert!(
+            (est_phi - true_phi).abs() < 1e-9,
+            "link {k}: {est_phi} vs {true_phi}"
+        );
+    }
+}
+
+/// The headline result, end to end: simulate a tree with bursty losses,
+/// learn variances, infer rates, and verify detection quality plus the
+/// Figure-7 invariant.
+#[test]
+fn full_pipeline_on_simulated_tree() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let topo = tree::generate(
+        TreeParams {
+            nodes: 150,
+            max_branching: 6,
+        },
+        &mut rng,
+    );
+    let paths = compute_paths(&topo.graph, &topo.beacons, &topo.destinations);
+    let red = reduce(&topo.graph, &paths);
+
+    let cfg = ExperimentConfig {
+        snapshots: 40,
+        seed: 7,
+        run_scfs: true,
+        ..ExperimentConfig::default()
+    };
+    let res = run_experiment(&red, &cfg).unwrap();
+    assert!(
+        res.location.detection_rate >= 0.85,
+        "DR = {}",
+        res.location.detection_rate
+    );
+    // Figure-7 invariant: all congested links fit in R*.
+    assert!(res.congested_to_kept_ratio() <= 1.0);
+    // LIA beats single-snapshot SCFS on detection.
+    let scfs = res.scfs_location.unwrap();
+    assert!(
+        res.location.detection_rate >= scfs.detection_rate,
+        "LIA {} vs SCFS {}",
+        res.location.detection_rate,
+        scfs.detection_rate
+    );
+}
+
+/// Learning variances from more snapshots must not hurt — DR at m = 60
+/// is at least as good as m = 5 minus slack (Figure 5's trend).
+#[test]
+fn more_snapshots_do_not_hurt() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let topo = tree::generate(
+        TreeParams {
+            nodes: 120,
+            max_branching: 5,
+        },
+        &mut rng,
+    );
+    let paths = compute_paths(&topo.graph, &topo.beacons, &topo.destinations);
+    let red = reduce(&topo.graph, &paths);
+    let dr = |m: usize| {
+        let cfg = ExperimentConfig {
+            snapshots: m,
+            seed: 11,
+            ..ExperimentConfig::default()
+        };
+        let results = run_many(&red, &cfg, 3);
+        let ok: Vec<_> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
+        ok.iter().map(|r| r.location.detection_rate).sum::<f64>() / ok.len() as f64
+    };
+    let dr_small = dr(5);
+    let dr_large = dr(60);
+    assert!(
+        dr_large + 0.10 >= dr_small,
+        "m=60 DR {dr_large} much worse than m=5 DR {dr_small}"
+    );
+}
+
+/// The measurement side and inference side agree on dimensions for
+/// every mesh generator.
+#[test]
+fn all_generators_feed_the_pipeline() {
+    use losstomo::topology::gen::{
+        barabasi::{self, BarabasiParams},
+        dimes::{self, DimesParams},
+        hierarchical::{self, HierMode, HierParams},
+        planetlab::{self, PlanetLabParams},
+        waxman::{self, WaxmanParams},
+    };
+    let mut rng = StdRng::seed_from_u64(9);
+    let topos = vec![
+        waxman::generate(
+            WaxmanParams {
+                nodes: 80,
+                hosts: 8,
+                ..WaxmanParams::default()
+            },
+            &mut rng,
+        ),
+        barabasi::generate(
+            BarabasiParams {
+                nodes: 80,
+                hosts: 8,
+                ..BarabasiParams::default()
+            },
+            &mut rng,
+        ),
+        hierarchical::generate(
+            HierParams {
+                as_count: 4,
+                routers_per_as: 15,
+                hosts: 8,
+                mode: HierMode::TopDown,
+            },
+            &mut rng,
+        ),
+        planetlab::generate(
+            PlanetLabParams {
+                sites: 8,
+                core_routers: 4,
+                ..PlanetLabParams::default()
+            },
+            &mut rng,
+        ),
+        dimes::generate(
+            DimesParams {
+                as_count: 12,
+                hosts: 8,
+                ..DimesParams::default()
+            },
+            &mut rng,
+        ),
+    ];
+    for topo in topos {
+        let paths = compute_paths(&topo.graph, &topo.beacons, &topo.destinations);
+        let red = reduce(&topo.graph, &paths);
+        let cfg = ExperimentConfig {
+            snapshots: 10,
+            seed: 5,
+            ..ExperimentConfig::default()
+        };
+        let res = run_experiment(&red, &cfg).unwrap();
+        assert_eq!(res.est_loss.len(), red.num_links());
+        assert_eq!(res.true_loss.len(), red.num_links());
+    }
+}
+
+/// Serde round-trip of experiment results (operators persist these).
+#[test]
+fn experiment_results_serialize() {
+    let red = fixtures::reduced(&fixtures::figure1());
+    let cfg = ExperimentConfig {
+        snapshots: 10,
+        seed: 2,
+        ..ExperimentConfig::default()
+    };
+    let res = run_experiment(&red, &cfg).unwrap();
+    let json = serde_json::to_string(&res).unwrap();
+    let back: losstomo::core::ExperimentResult = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.kept_count, res.kept_count);
+    assert_eq!(back.est_loss, res.est_loss);
+}

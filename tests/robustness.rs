@@ -1,0 +1,150 @@
+//! Integration tests: robustness to measurement imperfections
+//! (Section 7's methodology concerns).
+
+use losstomo::prelude::*;
+use losstomo::topology::gen::planetlab::{self, PlanetLabParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn planetlab(seed: u64) -> (losstomo::topology::GeneratedTopology, PathSet, ReducedTopology) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = planetlab::generate(
+        PlanetLabParams {
+            sites: 14,
+            core_routers: 6,
+            ..PlanetLabParams::default()
+        },
+        &mut rng,
+    );
+    let paths = compute_paths(&topo.graph, &topo.beacons, &topo.destinations);
+    let red = reduce(&topo.graph, &paths);
+    (topo, paths, red)
+}
+
+/// Cross-validation must hold up when the inference topology comes from
+/// an error-laden traceroute while losses happen on the true network —
+/// the paper's "despite the potential errors in network topology, our
+/// algorithm is still very accurate".
+#[test]
+fn lia_survives_traceroute_errors() {
+    let (topo, paths, true_red) = planetlab(50);
+    let mut rng = StdRng::seed_from_u64(51);
+    // Exaggerated error rates so the observed topology reliably differs
+    // from the truth on a ~20-router network.
+    let cfg = TracerouteConfig {
+        no_response_prob: 0.3,
+        multi_interface_prob: 0.3,
+        alias_resolution_prob: 0.2,
+        ..TracerouteConfig::default()
+    };
+    let obs = losstomo::netsim::observe(&topo.graph, &paths, &cfg, &mut rng);
+    let obs_red = reduce(&obs.graph, &obs.paths);
+    // Observed topology differs from the truth…
+    assert!(obs.anonymous_nodes + obs.interface_nodes > 0);
+
+    let mut scenario = CongestionScenario::draw(
+        true_red.num_links(),
+        0.1,
+        CongestionDynamics::Fixed,
+        &mut rng,
+    );
+    let ms = simulate_run(
+        &true_red,
+        &mut scenario,
+        &ProbeConfig::default(),
+        41,
+        &mut rng,
+    );
+    // …but inference with the observed routing matrix still validates.
+    let res = cross_validate(&obs_red, &ms, &CrossValidationConfig::default(), &mut rng)
+        .unwrap();
+    assert!(
+        res.percent_consistent() >= 70.0,
+        "only {:.1}% consistent under traceroute errors",
+        res.percent_consistent()
+    );
+}
+
+/// The same data validated on the true topology must do at least as
+/// well as a heavily corrupted observation (sanity direction check).
+#[test]
+fn clean_topology_validates_better_than_fully_anonymous() {
+    let (topo, paths, true_red) = planetlab(60);
+    let mut rng = StdRng::seed_from_u64(61);
+    let anonymous_cfg = TracerouteConfig {
+        no_response_prob: 0.9,
+        ..TracerouteConfig::default()
+    };
+    let obs = losstomo::netsim::observe(&topo.graph, &paths, &anonymous_cfg, &mut rng);
+    let obs_red = reduce(&obs.graph, &obs.paths);
+
+    let mut scenario = CongestionScenario::draw(
+        true_red.num_links(),
+        0.1,
+        CongestionDynamics::Fixed,
+        &mut rng,
+    );
+    let ms = simulate_run(
+        &true_red,
+        &mut scenario,
+        &ProbeConfig::default(),
+        31,
+        &mut rng,
+    );
+    let mut rng_a = StdRng::seed_from_u64(62);
+    let mut rng_b = StdRng::seed_from_u64(62);
+    let clean = cross_validate(&true_red, &ms, &CrossValidationConfig::default(), &mut rng_a)
+        .unwrap();
+    let dirty = cross_validate(&obs_red, &ms, &CrossValidationConfig::default(), &mut rng_b)
+        .unwrap();
+    assert!(
+        clean.percent_consistent() + 15.0 >= dirty.percent_consistent(),
+        "clean {:.1}% vs anonymised {:.1}%",
+        clean.percent_consistent(),
+        dirty.percent_consistent()
+    );
+}
+
+/// Short snapshots (small S) still produce a working pipeline — Figure
+/// 8(b)'s claim that the impact of S is mild.
+#[test]
+fn small_probe_counts_degrade_gracefully() {
+    let (_, _, red) = planetlab(70);
+    let dr_of = |s: u32| {
+        let cfg = ExperimentConfig {
+            snapshots: 30,
+            probe: ProbeConfig {
+                probes_per_snapshot: s,
+                ..ProbeConfig::default()
+            },
+            seed: 71,
+            ..ExperimentConfig::default()
+        };
+        let results = run_many(&red, &cfg, 3);
+        let ok: Vec<_> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
+        ok.iter().map(|r| r.location.detection_rate).sum::<f64>() / ok.len() as f64
+    };
+    let dr_small = dr_of(200);
+    let dr_large = dr_of(1000);
+    assert!(dr_small >= 0.6, "S=200 DR collapsed to {dr_small}");
+    assert!(dr_large >= dr_small - 0.15);
+}
+
+/// Zero-received paths (floored measurements) must not break inference.
+#[test]
+fn total_loss_paths_are_handled() {
+    let (_, _, red) = planetlab(80);
+    let cfg = ExperimentConfig {
+        snapshots: 20,
+        p_congested: 0.5, // heavy congestion: some paths lose everything
+        probe: ProbeConfig {
+            loss_model: LossModel::Llrd2, // rates up to 1.0
+            ..ProbeConfig::default()
+        },
+        seed: 81,
+        ..ExperimentConfig::default()
+    };
+    let res = run_experiment(&red, &cfg).unwrap();
+    assert!(res.est_loss.iter().all(|l| l.is_finite()));
+    assert!(res.est_loss.iter().all(|&l| (0.0..=1.0).contains(&l)));
+}
