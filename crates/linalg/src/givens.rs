@@ -112,10 +112,10 @@ impl RowUpdateQr {
             let g = GivensRotation::compute(self.r[(k, k)], work[k]);
             // Rotate row k of R against the work row.
             self.r[(k, k)] = g.r;
-            for j in (k + 1)..self.n {
-                let (rk, wk) = g.apply(self.r[(k, j)], work[j]);
+            for (j, wj) in work.iter_mut().enumerate().take(self.n).skip(k + 1) {
+                let (rk, wk) = g.apply(self.r[(k, j)], *wj);
                 self.r[(k, j)] = rk;
-                work[j] = wk;
+                *wj = wk;
             }
             let (qk, bk) = g.apply(self.qtb[k], beta);
             self.qtb[k] = qk;
@@ -176,8 +176,8 @@ mod tests {
         .unwrap();
         let b = [6.0, 5.0, 7.0, 10.0];
         let mut inc = RowUpdateQr::new(2);
-        for i in 0..4 {
-            inc.append_row(a.row(i), b[i]).unwrap();
+        for (i, &bi) in b.iter().enumerate() {
+            inc.append_row(a.row(i), bi).unwrap();
         }
         let x_inc = inc.solve().unwrap();
         let x_batch = solve_least_squares(&a, &b).unwrap();
@@ -197,8 +197,8 @@ mod tests {
         .unwrap();
         let b = [1.0, 1.0, 0.0];
         let mut inc = RowUpdateQr::new(2);
-        for i in 0..3 {
-            inc.append_row(a.row(i), b[i]).unwrap();
+        for (i, &bi) in b.iter().enumerate() {
+            inc.append_row(a.row(i), bi).unwrap();
         }
         let x = inc.solve().unwrap();
         let direct = crate::lstsq::residual_norm(&a, &x, &b).unwrap();

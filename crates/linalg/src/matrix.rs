@@ -162,13 +162,9 @@ impl Matrix {
             )));
         }
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = self.row(i);
-            let mut acc = 0.0;
-            for (a, b) in row.iter().zip(x.iter()) {
-                acc += a * b;
-            }
-            y[i] = acc;
+            *yi = row.iter().zip(x.iter()).map(|(a, b)| a * b).sum();
         }
         Ok(y)
     }
@@ -184,9 +180,8 @@ impl Matrix {
             )));
         }
         let mut x = vec![0.0; self.cols];
-        for i in 0..self.rows {
+        for (i, &yi) in y.iter().enumerate() {
             let row = self.row(i);
-            let yi = y[i];
             if yi == 0.0 {
                 continue;
             }

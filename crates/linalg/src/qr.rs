@@ -41,8 +41,8 @@ impl Qr {
         }
         let mut packed = a.clone();
         let mut tau = vec![0.0; n];
-        for k in 0..n {
-            tau[k] = reflect_column(&mut packed, k);
+        for (k, tk) in tau.iter_mut().enumerate() {
+            *tk = reflect_column(&mut packed, k);
         }
         Ok(Qr { packed, tau })
     }

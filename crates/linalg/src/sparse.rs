@@ -153,8 +153,8 @@ impl CsrMatrix {
             )));
         }
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            y[i] = self.row(i).map(|(j, v)| v * x[j]).sum();
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = self.row(i).map(|(j, v)| v * x[j]).sum();
         }
         Ok(y)
     }
@@ -170,8 +170,7 @@ impl CsrMatrix {
             )));
         }
         let mut x = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            let yi = y[i];
+        for (i, &yi) in y.iter().enumerate() {
             if yi == 0.0 {
                 continue;
             }

@@ -21,6 +21,41 @@ fn any_matrix() -> impl Strategy<Value = Matrix> {
     })
 }
 
+/// Independent rank oracle: Gaussian elimination with partial pivoting.
+/// `losstomo_linalg::rank` delegates to the pivoted QR, so rank checks
+/// against the library would be tautological without this.
+fn gaussian_rank(a: &Matrix) -> usize {
+    let (m, n) = (a.rows(), a.cols());
+    let scale = a.max_abs();
+    if scale == 0.0 {
+        return 0;
+    }
+    let tol = 1e-10 * scale;
+    let mut w: Vec<Vec<f64>> = (0..m).map(|i| a.row(i).to_vec()).collect();
+    let mut rank = 0;
+    for col in 0..n {
+        if rank == m {
+            break;
+        }
+        let pivot = (rank..m)
+            .max_by(|&i, &j| w[i][col].abs().partial_cmp(&w[j][col].abs()).unwrap())
+            .unwrap();
+        if w[pivot][col].abs() <= tol {
+            continue;
+        }
+        w.swap(rank, pivot);
+        let pivot_row = w[rank].clone();
+        for row in w.iter_mut().skip(rank + 1) {
+            let factor = row[col] / pivot_row[col];
+            for (rj, pj) in row[col..].iter_mut().zip(&pivot_row[col..]) {
+                *rj -= factor * pj;
+            }
+        }
+        rank += 1;
+    }
+    rank
+}
+
 proptest! {
     /// QR reproduces A: ‖QR − A‖∞ is tiny relative to ‖A‖.
     #[test]
@@ -98,6 +133,99 @@ proptest! {
         let x = chol.solve(&b).unwrap();
         for (p, q) in x.iter().zip(x_true.iter()) {
             prop_assert!((p - q).abs() < 1e-6 * (1.0 + q.abs()));
+        }
+    }
+
+    /// Pivoted QR agrees with an independent Gaussian-elimination rank
+    /// oracle, including on deliberately rank-deficient products B·C
+    /// with inner dimension r.
+    #[test]
+    fn pivoted_qr_rank_agreement(
+        shape in (1usize..=5, 1usize..=5, 1usize..=6).prop_flat_map(|(r, extra_m, n)| {
+            let m = r + extra_m;
+            (
+                Just((m, r, n)),
+                proptest::collection::vec(-3.0f64..3.0, m * r),
+                proptest::collection::vec(-3.0f64..3.0, r * n),
+            )
+        })
+    ) {
+        let ((m, r, n), b_data, c_data) = shape;
+        let b = Matrix::from_vec(m, r, b_data).unwrap();
+        let c = Matrix::from_vec(r, n, c_data).unwrap();
+        let a = b.matmul(&c).unwrap();
+        let qr = PivotedQr::new(&a).unwrap();
+        // Skip draws whose smallest accepted pivot sits near the rank
+        // tolerance, where the two algorithms may legitimately disagree.
+        prop_assume!(
+            qr.rank() == 0 || qr.pivot_magnitude(qr.rank() - 1) > 1e-6 * qr.pivot_magnitude(0)
+        );
+        prop_assert_eq!(qr.rank(), gaussian_rank(&a));
+        prop_assert!(qr.rank() <= r.min(n).min(m));
+        prop_assert_eq!(qr.rank(), rank(&a.transpose()));
+    }
+
+    /// The columns pivoted QR reports as independent really are: the
+    /// submatrix they select has the full column rank of A according to
+    /// the independent elimination oracle.
+    #[test]
+    fn pivoted_qr_independent_columns(a in any_matrix()) {
+        let qr = PivotedQr::new(&a).unwrap();
+        prop_assume!(
+            qr.rank() == 0 || qr.pivot_magnitude(qr.rank() - 1) > 1e-6 * qr.pivot_magnitude(0)
+        );
+        let kept = qr.independent_columns();
+        prop_assert_eq!(kept.len(), gaussian_rank(&a));
+        let sub = a.select_columns(&kept);
+        prop_assert_eq!(gaussian_rank(&sub), kept.len());
+    }
+
+    /// Householder QR and normal equations + Cholesky must agree on
+    /// well-conditioned full-rank systems, and both residuals must be
+    /// orthogonal to the column space of A.
+    #[test]
+    fn lstsq_backends_agree_and_residuals_are_orthogonal(
+        a in tall_matrix(),
+        seed in proptest::collection::vec(-5.0f64..5.0, 0..16),
+    ) {
+        let qr = PivotedQr::new(&a).unwrap();
+        prop_assume!(qr.rank() == a.cols());
+        prop_assume!(qr.pivot_magnitude(a.cols() - 1) > 1e-4 * qr.pivot_magnitude(0));
+        let b: Vec<f64> = (0..a.rows())
+            .map(|i| seed.get(i).copied().unwrap_or(1.0))
+            .collect();
+        let x_qr = lstsq::solve_least_squares(&a, &b).unwrap();
+        let x_ne = lstsq::solve_normal_equations(&a, &b).unwrap();
+        let scale = 1.0 + a.max_abs() * a.max_abs();
+        for (p, q) in x_qr.iter().zip(x_ne.iter()) {
+            prop_assert!((p - q).abs() < 1e-5 * (1.0 + q.abs()), "QR {p} vs NE {q}");
+        }
+        for x in [&x_qr, &x_ne] {
+            let ax = a.matvec(x).unwrap();
+            let resid: Vec<f64> = ax.iter().zip(b.iter()).map(|(p, q)| p - q).collect();
+            let grad = a.matvec_transposed(&resid).unwrap();
+            prop_assert!(
+                grad.iter().all(|g| g.abs() < 1e-5 * scale),
+                "residual not orthogonal: {grad:?}"
+            );
+        }
+    }
+
+    /// The full Q of the Householder factorisation is orthogonal:
+    /// applying Qᵀ then Q returns any vector unchanged (so `QR`
+    /// reconstruction holds in the full, not just thin, form).
+    #[test]
+    fn qr_full_q_roundtrip(a in tall_matrix(),
+                           seed in proptest::collection::vec(-4.0f64..4.0, 0..16)) {
+        let qr = Qr::new(&a).unwrap();
+        let y: Vec<f64> = (0..a.rows())
+            .map(|i| seed.get(i).copied().unwrap_or(0.5))
+            .collect();
+        let mut z = y.clone();
+        qr.apply_qt(&mut z).unwrap();
+        qr.apply_q(&mut z).unwrap();
+        for (p, q) in z.iter().zip(y.iter()) {
+            prop_assert!((p - q).abs() < 1e-10 * (1.0 + q.abs()));
         }
     }
 

@@ -62,8 +62,8 @@ pub fn generate<R: Rng>(params: HierParams, rng: &mut R) -> GeneratedTopology {
 
     let hosts = least_degree_nodes(n, &edges, params.hosts);
     let mut g = graph_from_undirected(n, &edges, &hosts);
-    for i in 0..n {
-        g.node_mut(NodeId(i as u32)).as_id = Some(as_of[i]);
+    for (i, &as_id) in as_of.iter().enumerate() {
+        g.node_mut(NodeId(i as u32)).as_id = Some(as_id);
     }
     let host_ids: Vec<NodeId> = hosts.iter().map(|&h| NodeId(h as u32)).collect();
     GeneratedTopology {

@@ -6,19 +6,32 @@
 //! the last snapshot (Phase 2).
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Optional flags: `--nodes N` (default 200) and `--snapshots M`
+//! (default 50) shrink the run for smoke tests and CI.
 
 use losstomo::prelude::*;
 use losstomo::topology::gen::tree::{self, TreeParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Returns the numeric value following `--flag` on the command line.
+fn flag_value(name: &str) -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
 fn main() {
-    // 1. A network: 200-node random tree, beacon at the root, probing
-    //    destinations at the leaves.
+    // 1. A network: random tree (200 nodes by default), beacon at the
+    //    root, probing destinations at the leaves.
+    let nodes = flag_value("--nodes").unwrap_or(200);
     let mut rng = StdRng::seed_from_u64(1);
     let topo = tree::generate(
         TreeParams {
-            nodes: 200,
+            nodes,
             max_branching: 8,
         },
         &mut rng,
@@ -35,7 +48,7 @@ fn main() {
 
     // 3. Simulate m+1 snapshots: 10% of links congested, LLRD1 rates,
     //    Gilbert losses, S = 1000 probes per path per snapshot.
-    let m = 50;
+    let m = flag_value("--snapshots").unwrap_or(50);
     let mut scenario =
         CongestionScenario::draw(red.num_links(), 0.1, CongestionDynamics::Fixed, &mut rng);
     let ms = simulate_run(&red, &mut scenario, &ProbeConfig::default(), m + 1, &mut rng);

@@ -1,0 +1,105 @@
+//! Golden regression test for the two-phase pipeline.
+//!
+//! Runs `run_experiment` with a fixed seed on a small tree topology and
+//! compares the headline outputs (DR, FPR, kept-column count,
+//! congested-link count, dropped covariance rows) against a committed
+//! JSON fixture. Any behavioural change to Phase 1 (variance learning
+//! `Σ* = A v`), Phase 2 (column elimination + reduced solve) or the
+//! probe engine's deterministic RNG stream shows up here immediately.
+//!
+//! To regenerate the fixture after an *intentional* change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test golden_pipeline
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+use losstomo::prelude::*;
+use losstomo::topology::gen::tree::{self, TreeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FIXTURE_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_tree.json"
+);
+
+/// Runs the golden experiment once per test binary; both tests below
+/// share the result.
+fn golden_result() -> &'static losstomo::core::ExperimentResult {
+    static RESULT: OnceLock<losstomo::core::ExperimentResult> = OnceLock::new();
+    RESULT.get_or_init(run_golden_experiment)
+}
+
+fn run_golden_experiment() -> losstomo::core::ExperimentResult {
+    let mut rng = StdRng::seed_from_u64(123);
+    let topo = tree::generate(
+        TreeParams {
+            nodes: 60,
+            max_branching: 4,
+        },
+        &mut rng,
+    );
+    let paths = compute_paths(&topo.graph, &topo.beacons, &topo.destinations);
+    let red = reduce(&topo.graph, &paths);
+    let cfg = ExperimentConfig {
+        snapshots: 30,
+        seed: 9,
+        ..ExperimentConfig::default()
+    };
+    run_experiment(&red, &cfg).expect("golden experiment must succeed")
+}
+
+fn summarize(res: &losstomo::core::ExperimentResult) -> BTreeMap<String, f64> {
+    BTreeMap::from([
+        ("detection_rate".to_string(), res.location.detection_rate),
+        (
+            "false_positive_rate".to_string(),
+            res.location.false_positive_rate,
+        ),
+        ("kept_count".to_string(), res.kept_count as f64),
+        ("congested_count".to_string(), res.congested_count as f64),
+        ("dropped_rows".to_string(), res.dropped_rows as f64),
+    ])
+}
+
+#[test]
+fn golden_tree_pipeline_matches_fixture() {
+    let actual = summarize(golden_result());
+
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        let json = serde_json::to_string_pretty(&actual).unwrap();
+        std::fs::write(FIXTURE_PATH, json + "\n").expect("write fixture");
+        return;
+    }
+
+    let fixture: BTreeMap<String, f64> = serde_json::from_str(
+        &std::fs::read_to_string(FIXTURE_PATH).expect("fixture missing — run with GOLDEN_REGEN=1"),
+    )
+    .expect("fixture must parse");
+
+    assert_eq!(
+        fixture.keys().collect::<Vec<_>>(),
+        actual.keys().collect::<Vec<_>>(),
+        "fixture fields drifted from the test's summary"
+    );
+    for (key, expected) in &fixture {
+        let got = actual[key];
+        assert!(
+            (got - expected).abs() < 1e-9,
+            "golden drift on `{key}`: fixture {expected}, got {got}"
+        );
+    }
+}
+
+/// The counts in the fixture must stay internally consistent: every
+/// congested link fits in the kept column set (the Figure-7 invariant
+/// the golden scenario is designed to exercise).
+#[test]
+fn golden_scenario_respects_figure7_invariant() {
+    let res = golden_result();
+    assert!(res.kept_count > 0, "Phase 2 kept no columns");
+    assert!(res.congested_to_kept_ratio() <= 1.0);
+}

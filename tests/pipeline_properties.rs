@@ -52,10 +52,10 @@ proptest! {
         let x: Vec<f64> = phi.iter().map(|p| p.ln()).collect();
         let y = red.matrix.to_dense().matvec(&x).unwrap();
         let est = infer_link_rates(&red, &variances, &y, &LiaConfig::default()).unwrap();
-        for k in 0..nc {
+        for (k, (&est_phi, &true_phi)) in est.transmission.iter().zip(phi.iter()).enumerate() {
             prop_assert!(
-                (est.transmission[k] - phi[k]).abs() < 1e-8,
-                "link {} est {} true {}", k, est.transmission[k], phi[k]
+                (est_phi - true_phi).abs() < 1e-8,
+                "link {k} est {est_phi} true {true_phi}"
             );
         }
     }

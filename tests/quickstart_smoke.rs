@@ -1,0 +1,41 @@
+//! Smoke test: the `quickstart` example must run end to end.
+//!
+//! CI builds every example; this test additionally *executes* the
+//! quickstart walkthrough on a quick-scale topology so a regression in
+//! the example's pipeline (not just its compilation) fails the suite.
+
+use std::process::Command;
+
+#[test]
+fn quickstart_example_runs_end_to_end() {
+    let output = Command::new(env!("CARGO"))
+        .args([
+            "run",
+            "--release",
+            "--example",
+            "quickstart",
+            "--",
+            "--nodes",
+            "80",
+            "--snapshots",
+            "12",
+        ])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("failed to spawn cargo run --example quickstart");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "quickstart exited with {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        output.status
+    );
+    assert!(
+        stdout.contains("measurement system:"),
+        "missing topology report in output:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("detection rate"),
+        "missing accuracy report in output:\n{stdout}"
+    );
+}

@@ -1,0 +1,200 @@
+//! Offline stand-in for the subset of Criterion.rs the benches use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_function, bench_with_input,
+//! finish}`, `BenchmarkId::from_parameter` and `Bencher::iter`.
+//!
+//! Statistical machinery (outlier analysis, plots, HTML reports) is
+//! replaced by a fixed warm-up followed by `sample_size` timed batches;
+//! mean and min/max per-iteration times are printed to stdout. This
+//! keeps `cargo bench` meaningful for relative comparisons while
+//! remaining dependency-free.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterised benchmark, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from the benchmark parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Timing driver passed to the measured closure.
+pub struct Bencher {
+    samples: usize,
+    /// Mean/min/max per-iteration time of the last `iter` call.
+    last: Option<(Duration, Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Times `routine`, running one warm-up batch and `samples` measured
+    /// batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        // Size batches so each takes ≳1ms, capping total iterations.
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(50));
+        let batch = (Duration::from_millis(1).as_nanos() / probe.as_nanos()).clamp(1, 10_000)
+            as usize;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        let mut iters = 0u128;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            let per_iter = elapsed / batch as u32;
+            min = min.min(per_iter);
+            max = max.max(per_iter);
+            total += elapsed;
+            iters += batch as u128;
+        }
+        let mean = Duration::from_nanos((total.as_nanos() / iters.max(1)) as u64);
+        self.last = Some((mean, min, max));
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many measured batches each benchmark runs.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            last: None,
+        };
+        f(&mut bencher);
+        match bencher.last {
+            Some((mean, min, max)) => println!(
+                "{}/{id}: time [{min:?} .. {mean:?} .. {max:?}]",
+                self.name
+            ),
+            None => println!("{}/{id}: no measurement taken", self.name),
+        }
+    }
+
+    /// Runs a named benchmark.
+    pub fn bench_function<S: Display, F: FnMut(&mut Bencher)>(&mut self, id: S, f: F) {
+        self.run(&id.to_string(), f);
+    }
+
+    /// Runs a parameterised benchmark over `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run(&id.to_string(), |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_samples: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: self.default_samples,
+        }
+    }
+
+    /// Runs a standalone named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups, mirroring
+/// `criterion::criterion_main!`. Harness flags that `cargo test` /
+/// `cargo bench` pass (e.g. `--bench`, `--test`) are accepted and
+/// ignored; `--test` skips the timed run entirely, matching how real
+/// Criterion benches behave under `cargo test`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if ::std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bencher_measures_and_prints() {
+        let mut criterion = super::Criterion::default();
+        let mut group = criterion.benchmark_group("smoke");
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(super::BenchmarkId::from_parameter(3), &3u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,69 @@
+//! Offline stand-in for `crossbeam::scope`, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63). Only the pieces the
+//! workspace uses are provided: `scope(|s| ...)` returning a `Result`,
+//! and `Scope::spawn` whose closure receives the scope again.
+
+#![forbid(unsafe_code)]
+
+use std::thread;
+
+/// Handle passed to the `scope` closure; mirrors `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. As in crossbeam, the closure receives a
+    /// reference to the scope so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Creates a scope in which scoped threads can be spawned; joins them
+/// all before returning.
+///
+/// Unlike crossbeam, a panic in an unjoined scoped thread propagates
+/// out of `scope` (std semantics) instead of surfacing as `Err`; the
+/// `Ok` wrapper is kept so call sites written against crossbeam's
+/// `Result` API compile unchanged.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_join_before_return() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        let flag = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| flag.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(flag.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,420 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde subset.
+//!
+//! The real `serde_derive` is built on `syn`/`quote`, which are not
+//! available offline, so this crate parses the item declaration
+//! directly from the `proc_macro` token stream. It supports exactly
+//! the shapes the workspace uses — non-generic structs (named, tuple
+//! and unit) and non-generic enums whose variants are unit, tuple or
+//! struct-like — and produces impls of `serde::Serialize` /
+//! `serde::Deserialize` following serde's external-tagging convention,
+//! so the JSON layout matches what the real crate would emit.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of the fields of a struct or an enum variant.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+/// Parsed derive input.
+enum Input {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+/// Consumes one attribute (`#[...]`) if present; returns whether one
+/// was consumed.
+fn skip_attr(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '#' {
+            tokens.next();
+            // The bracket group of the attribute.
+            tokens.next();
+            return true;
+        }
+    }
+    false
+}
+
+/// Consumes a visibility modifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_visibility(tokens: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Parses the named fields of a brace group, returning their names.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        while skip_attr(&mut tokens) {}
+        skip_visibility(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            Some(other) => panic!("serde derive: expected field name, got {other}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field name, got {other:?}"),
+        }
+        // Consume the type up to the next comma outside angle brackets.
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a paren (tuple) group.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens = false;
+    for tok in group {
+        saw_tokens = true;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    if saw_tokens {
+        count + 1
+    } else {
+        0
+    }
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(group: TokenStream) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut tokens = group.into_iter().peekable();
+    loop {
+        while skip_attr(&mut tokens) {}
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => panic!("serde derive: expected variant name, got {other}"),
+        };
+        let fields = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                tokens.next();
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                tokens.next();
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push((name, fields));
+        // Consume everything up to the variant separator (covers
+        // explicit discriminants, which we do not otherwise support).
+        for tok in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    while skip_attr(&mut tokens) {}
+    skip_visibility(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive (vendored): generic types are not supported");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde derive: unsupported struct body: {other:?}"),
+            };
+            Input::Struct { name, fields }
+        }
+        "enum" => {
+            let variants = match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    parse_variants(g.stream())
+                }
+                other => panic!("serde derive: unsupported enum body: {other:?}"),
+            };
+            Input::Enum { name, variants }
+        }
+        other => panic!("serde derive: expected `struct` or `enum`, got `{other}`"),
+    }
+}
+
+/// Implements `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let expr = match fields {
+                Fields::Named(fields) => {
+                    let entries: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "#[automatically_derived]
+                 impl ::serde::Serialize for {name} {{
+                     fn to_value(&self) -> ::serde::Value {{ {expr} }}
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(vname, fields)| match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                    ),
+                    Fields::Named(fields) => {
+                        let bindings = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vname} {{ {bindings} }} => ::serde::Value::Map(\
+                             ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Map(::std::vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
+                    Fields::Tuple(1) => format!(
+                        "{name}::{vname}(x0) => ::serde::Value::Map(::std::vec![\
+                         (::std::string::String::from(\"{vname}\"), \
+                         ::serde::Serialize::to_value(x0))]),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let bindings: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = bindings
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Seq(::std::vec![{}]))]),",
+                            bindings.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]
+                 impl ::serde::Serialize for {name} {{
+                     fn to_value(&self) -> ::serde::Value {{
+                         match self {{ {} }}
+                     }}
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    body.parse().expect("serde derive: generated invalid Serialize impl")
+}
+
+/// Implements `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_input(input) {
+        Input::Struct { name, fields } => {
+            let expr = match fields {
+                Fields::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(value, \"{f}\")?,"))
+                        .collect();
+                    format!("::std::result::Result::Ok({name} {{ {} }})", inits.join(" "))
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "match value {{
+                             ::serde::Value::Seq(items) if items.len() == {n} =>
+                                 ::std::result::Result::Ok({name}({})),
+                             other => ::std::result::Result::Err(
+                                 ::serde::DeError::unexpected(\"{n}-element array\", other)),
+                         }}",
+                        items.join(", ")
+                    )
+                }
+                Fields::Unit => format!(
+                    "match value {{
+                         ::serde::Value::Null => ::std::result::Result::Ok({name}),
+                         other => ::std::result::Result::Err(
+                             ::serde::DeError::unexpected(\"null\", other)),
+                     }}"
+                ),
+            };
+            format!(
+                "#[automatically_derived]
+                 impl ::serde::Deserialize for {name} {{
+                     fn from_value(value: &::serde::Value)
+                         -> ::std::result::Result<Self, ::serde::DeError> {{ {expr} }}
+                 }}"
+            )
+        }
+        Input::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(vname, _)| {
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(vname, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::field(inner, \"{f}\")?,"))
+                            .collect();
+                        Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok(\
+                             {name}::{vname} {{ {} }}),",
+                            inits.join(" ")
+                        ))
+                    }
+                    Fields::Tuple(1) => Some(format!(
+                        "\"{vname}\" => ::std::result::Result::Ok(\
+                         {name}::{vname}(::serde::Deserialize::from_value(inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{vname}\" => match inner {{
+                                 ::serde::Value::Seq(items) if items.len() == {n} =>
+                                     ::std::result::Result::Ok({name}::{vname}({})),
+                                 other => ::std::result::Result::Err(
+                                     ::serde::DeError::unexpected(\"{n}-element array\", other)),
+                             }},",
+                            items.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            let str_arm = if unit_arms.is_empty() {
+                format!(
+                    "::serde::Value::Str(_) => ::std::result::Result::Err(
+                         ::serde::DeError(::std::format!(
+                             \"no unit variants in {name}\"))),"
+                )
+            } else {
+                format!(
+                    "::serde::Value::Str(s) => match s.as_str() {{
+                         {}
+                         other => ::std::result::Result::Err(::serde::DeError(
+                             ::std::format!(\"unknown {name} variant `{{other}}`\"))),
+                     }},",
+                    unit_arms.join("\n")
+                )
+            };
+            let map_arm = if data_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Map(entries) if entries.len() == 1 => {{
+                         let (tag, inner) = &entries[0];
+                         match tag.as_str() {{
+                             {}
+                             other => ::std::result::Result::Err(::serde::DeError(
+                                 ::std::format!(\"unknown {name} variant `{{other}}`\"))),
+                         }}
+                     }},",
+                    data_arms.join("\n")
+                )
+            };
+            format!(
+                "#[automatically_derived]
+                 impl ::serde::Deserialize for {name} {{
+                     fn from_value(value: &::serde::Value)
+                         -> ::std::result::Result<Self, ::serde::DeError> {{
+                         match value {{
+                             {str_arm}
+                             {map_arm}
+                             other => ::std::result::Result::Err(
+                                 ::serde::DeError::unexpected(\"{name}\", other)),
+                         }}
+                     }}
+                 }}"
+            )
+        }
+    };
+    body.parse().expect("serde derive: generated invalid Deserialize impl")
+}
