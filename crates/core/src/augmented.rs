@@ -23,18 +23,33 @@ use losstomo_linalg::{rank, Matrix};
 use losstomo_topology::{PathId, ReducedTopology};
 
 /// The augmented moment system: pair index plus sparse rows of `A`.
+///
+/// Rows are stored in one flat CSR-style buffer (`links` + `offsets`)
+/// rather than a `Vec` per row: Phase-1 assembly walks every row twice
+/// per estimate, and the flat layout turns that walk into a single
+/// sequential stream instead of a pointer chase through per-row
+/// allocations.
 #[derive(Debug, Clone)]
 pub struct AugmentedSystem {
     /// The path pair `(i, j)` with `i ≤ j` for each row of `A`.
     pairs: Vec<(PathId, PathId)>,
-    /// Sparse rows: row `r` is the set of links shared by `pairs[r]`.
-    rows: Vec<Vec<usize>>,
+    /// Shared-link indices of all rows, concatenated.
+    links: Vec<usize>,
+    /// Row `r` occupies `links[offsets[r]..offsets[r + 1]]`.
+    offsets: Vec<usize>,
     n_links: usize,
 }
 
 /// Intersection of two ascending index slices.
+#[cfg(test)]
 fn intersect_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let mut out = Vec::new();
+    intersect_sorted_into(a, b, &mut out);
+    out
+}
+
+/// Appends the intersection of two ascending index slices to `out`.
+fn intersect_sorted_into(a: &[usize], b: &[usize], out: &mut Vec<usize>) {
     let (mut x, mut y) = (0, 0);
     while x < a.len() && y < b.len() {
         match a[x].cmp(&b[y]) {
@@ -47,7 +62,6 @@ fn intersect_sorted(a: &[usize], b: &[usize]) -> Vec<usize> {
             }
         }
     }
-    out
 }
 
 impl AugmentedSystem {
@@ -56,11 +70,13 @@ impl AugmentedSystem {
         let np = red.num_paths();
         let nc = red.num_links();
         let mut pairs = Vec::new();
-        let mut rows = Vec::new();
+        let mut links = Vec::new();
+        let mut offsets = vec![0usize];
         // Diagonal pairs (i, i): the path's own links.
         for i in 0..np {
             pairs.push((PathId(i as u32), PathId(i as u32)));
-            rows.push(red.path_links(PathId(i as u32)).to_vec());
+            links.extend_from_slice(red.path_links(PathId(i as u32)));
+            offsets.push(links.len());
         }
         // Off-diagonal pairs sharing at least one link, discovered via
         // the link → paths inverted index.
@@ -73,24 +89,29 @@ impl AugmentedSystem {
                     if !seen.insert(key) {
                         continue;
                     }
-                    let shared =
-                        intersect_sorted(red.path_links(key.0), red.path_links(key.1));
-                    debug_assert!(!shared.is_empty());
+                    let before = links.len();
+                    intersect_sorted_into(
+                        red.path_links(key.0),
+                        red.path_links(key.1),
+                        &mut links,
+                    );
+                    debug_assert!(links.len() > before);
                     pairs.push(key);
-                    rows.push(shared);
+                    offsets.push(links.len());
                 }
             }
         }
         AugmentedSystem {
             pairs,
-            rows,
+            links,
+            offsets,
             n_links: nc,
         }
     }
 
     /// Number of retained rows (pairs with a nonempty intersection).
     pub fn num_rows(&self) -> usize {
-        self.rows.len()
+        self.pairs.len()
     }
 
     /// Number of links `n_c` (columns of `A`).
@@ -105,7 +126,7 @@ impl AugmentedSystem {
 
     /// The shared links of row `r` (ascending).
     pub fn row(&self, r: usize) -> &[usize] {
-        &self.rows[r]
+        &self.links[self.offsets[r]..self.offsets[r + 1]]
     }
 
     /// Iterates over `(pair, shared links)`.
@@ -113,14 +134,25 @@ impl AugmentedSystem {
         self.pairs
             .iter()
             .copied()
-            .zip(self.rows.iter().map(|r| r.as_slice()))
+            .zip(self.offsets.windows(2).map(|w| &self.links[w[0]..w[1]]))
+    }
+
+    /// The path pairs of all retained rows as raw index pairs, in row
+    /// order — the exact argument
+    /// [`crate::covariance::CenteredMeasurements::pair_covariances`]
+    /// expects for the one-pass Phase-1 covariance assembly.
+    pub fn pair_indices(&self) -> Vec<(usize, usize)> {
+        self.pairs
+            .iter()
+            .map(|&(a, b)| (a.index(), b.index()))
+            .collect()
     }
 
     /// Assembles the retained rows as a sparse matrix (binary).
     pub fn to_sparse(&self) -> CsrMatrix {
         let mut b = CsrBuilder::new(self.n_links);
-        for row in &self.rows {
-            b.push_binary_row(row)
+        for r in 0..self.num_rows() {
+            b.push_binary_row(self.row(r))
                 .expect("link indices are in range by construction");
         }
         b.build()
@@ -141,7 +173,7 @@ impl AugmentedSystem {
         if self.n_links == 0 {
             return false;
         }
-        if self.rows.len() < self.n_links {
+        if self.pairs.len() < self.n_links {
             return false;
         }
         rank(&self.to_dense()) == self.n_links
@@ -157,7 +189,8 @@ impl AugmentedSystem {
         let changed_set: std::collections::HashSet<PathId> = changed.iter().copied().collect();
         let np = red.num_paths();
         let mut pairs = Vec::with_capacity(self.pairs.len());
-        let mut rows = Vec::with_capacity(self.rows.len());
+        let mut links = Vec::with_capacity(self.links.len());
+        let mut offsets = vec![0usize];
         // Keep untouched rows that still reference valid paths.
         for (pair, row) in self.iter() {
             if pair.0.index() >= np || pair.1.index() >= np {
@@ -167,7 +200,8 @@ impl AugmentedSystem {
                 continue;
             }
             pairs.push(pair);
-            rows.push(row.to_vec());
+            links.extend_from_slice(row);
+            offsets.push(links.len());
         }
         // Recompute all pairs involving a changed path.
         let mut seen: std::collections::HashSet<(PathId, PathId)> =
@@ -182,21 +216,27 @@ impl AugmentedSystem {
                 if !seen.insert(key) {
                     continue;
                 }
-                let shared = if key.0 == key.1 {
-                    red.path_links(key.0).to_vec()
+                let before = links.len();
+                if key.0 == key.1 {
+                    links.extend_from_slice(red.path_links(key.0));
                 } else {
-                    intersect_sorted(red.path_links(key.0), red.path_links(key.1))
-                };
-                if shared.is_empty() {
+                    intersect_sorted_into(
+                        red.path_links(key.0),
+                        red.path_links(key.1),
+                        &mut links,
+                    );
+                }
+                if links.len() == before {
                     continue;
                 }
                 pairs.push(key);
-                rows.push(shared);
+                offsets.push(links.len());
             }
         }
         AugmentedSystem {
             pairs,
-            rows,
+            links,
+            offsets,
             n_links: red.num_links(),
         }
     }
@@ -276,7 +316,8 @@ mod tests {
         let red = fixtures::reduced(&fixtures::figure1());
         let aug = AugmentedSystem {
             pairs: vec![],
-            rows: vec![],
+            links: vec![],
+            offsets: vec![0],
             n_links: red.num_links(),
         };
         assert!(!aug.is_identifiable());

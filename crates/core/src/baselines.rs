@@ -52,14 +52,15 @@ mod tests {
     #[test]
     fn reproduces_path_measurements() {
         // The basic solution is consistent with Y even if it attributes
-        // losses to the wrong links.
+        // losses to the wrong links. The routing matrix stays in sparse
+        // form throughout — no dense conversion is needed for matvecs.
         let red = fixtures::reduced(&fixtures::figure1());
         let phi = [0.9_f64, 1.0, 0.8, 1.0, 1.0];
         let x: Vec<f64> = phi.iter().map(|p| p.ln()).collect();
-        let y = red.matrix.to_dense().matvec(&x).unwrap();
+        let y = red.matrix.matvec(&x).unwrap();
         let est = first_moment_basic(&red, &y).unwrap();
         let x_est: Vec<f64> = est.iter().map(|p| p.ln()).collect();
-        let y_est = red.matrix.to_dense().matvec(&x_est).unwrap();
+        let y_est = red.matrix.matvec(&x_est).unwrap();
         for (a, b) in y.iter().zip(y_est.iter()) {
             assert!((a - b).abs() < 1e-9, "not consistent: {y:?} vs {y_est:?}");
         }
@@ -74,10 +75,10 @@ mod tests {
         let (ra, rb) = losstomo_topology::fixtures::figure1_ambiguous_rates();
         // Both rate vectors yield the same Y (asserted in fixtures); the
         // baseline returns one answer, so it must be wrong for at least
-        // one of them.
+        // one of them. Sparse matvec: no per-call dense conversion.
         let to_y = |rates: &[f64; 5]| {
             let x: Vec<f64> = rates.iter().map(|p| p.ln()).collect();
-            red.matrix.to_dense().matvec(&x).unwrap()
+            red.matrix.matvec(&x).unwrap()
         };
         let est = first_moment_basic(&red, &to_y(&ra)).unwrap();
         let matches = |rates: &[f64; 5]| {

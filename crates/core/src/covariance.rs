@@ -6,19 +6,34 @@
 //! `Σ̂_{ii'} = 1/(m−1) · Σ_l (Y_i^(l) − Ȳ_i)(Y_{i'}^(l) − Ȳ_{i'})`.
 //!
 //! Phase 1 only needs the entries for path pairs that share at least one
-//! link (disjoint pairs produce all-zero rows of `A`), so the estimator
-//! computes exactly the requested entries instead of the full `n_p²`
-//! matrix.
+//! link (disjoint pairs produce all-zero rows of `A`). The estimator
+//! stores the centred deviations *path-major* in one flat buffer, so
+//! every covariance entry is a dot product of two contiguous slices, and
+//! computes all entries the augmented system needs in a single pass
+//! ([`CenteredMeasurements::pair_covariances`]), interleaving four
+//! register-resident accumulator chains per loop; the full dense Gram
+//! `Σ = D Dᵀ/(m−1)` is available as
+//! [`CenteredMeasurements::full_covariance`] for small systems. The
+//! pair sweep is parallelised over disjoint output blocks with
+//! crossbeam scoped threads; every entry is produced by exactly one
+//! thread with a fixed ascending accumulation order, so serial and
+//! parallel results are bit-identical.
 
 use losstomo_netsim::MeasurementSet;
 
 /// Centred snapshot data, ready to produce covariance entries on demand.
 #[derive(Debug, Clone)]
 pub struct CenteredMeasurements {
-    /// `deviations[l][i] = Y_i^(l) − Ȳ_i` for snapshot `l`, path `i`.
-    deviations: Vec<Vec<f64>>,
+    /// Path-major centred deviations:
+    /// `dev[i * m + l] = Y_i^(l) − Ȳ_i` for path `i`, snapshot `l`.
+    dev: Vec<f64>,
     n_paths: usize,
+    snapshots: usize,
 }
+
+/// Pairs per chunk when fanning covariance work out to threads; large
+/// enough that spawn overhead is negligible against the dot products.
+const MIN_PAIRS_PER_THREAD: usize = 4096;
 
 impl CenteredMeasurements {
     /// Centres the log measurements of `m ≥ 2` snapshots.
@@ -49,21 +64,24 @@ impl CenteredMeasurements {
         for mean in means.iter_mut() {
             *mean /= m as f64;
         }
-        let deviations = rows
-            .into_iter()
-            .map(|row| {
-                row.iter()
-                    .zip(means.iter())
-                    .map(|(y, mean)| y - mean)
-                    .collect()
-            })
-            .collect();
-        CenteredMeasurements { deviations, n_paths }
+        // Transpose into path-major order so each path's deviations are
+        // one contiguous slice.
+        let mut dev = vec![0.0; n_paths * m];
+        for (l, row) in rows.iter().enumerate() {
+            for (i, (y, mean)) in row.iter().zip(means.iter()).enumerate() {
+                dev[i * m + l] = y - mean;
+            }
+        }
+        CenteredMeasurements {
+            dev,
+            n_paths,
+            snapshots: m,
+        }
     }
 
     /// Number of snapshots `m`.
     pub fn snapshots(&self) -> usize {
-        self.deviations.len()
+        self.snapshots
     }
 
     /// Number of paths `n_p`.
@@ -71,22 +89,134 @@ impl CenteredMeasurements {
         self.n_paths
     }
 
+    /// The centred deviations of path `i`, one entry per snapshot.
+    #[inline]
+    fn dev_row(&self, i: usize) -> &[f64] {
+        &self.dev[i * self.snapshots..(i + 1) * self.snapshots]
+    }
+
     /// The sample covariance `Σ̂_{ii'}` (unbiased, `m − 1` denominator).
     pub fn cov(&self, i: usize, i2: usize) -> f64 {
         debug_assert!(i < self.n_paths && i2 < self.n_paths);
-        let m = self.deviations.len();
-        let sum: f64 = self
-            .deviations
-            .iter()
-            .map(|row| row[i] * row[i2])
-            .sum();
-        sum / (m - 1) as f64
+        dot(self.dev_row(i), self.dev_row(i2)) / (self.snapshots - 1) as f64
     }
 
     /// The sample variance of path `i`.
     pub fn var(&self, i: usize) -> f64 {
         self.cov(i, i)
     }
+
+    /// Computes `Σ̂_{ii'}` for every requested `(i, i')` pair in one
+    /// pass, parallelised over the available cores (the
+    /// `LOSSTOMO_THREADS` environment variable caps the thread count).
+    ///
+    /// Entry `r` of the result corresponds to `pairs[r]`. Bit-identical
+    /// to calling [`CenteredMeasurements::cov`] per pair, and to
+    /// [`CenteredMeasurements::pair_covariances_with_threads`] at any
+    /// thread count.
+    pub fn pair_covariances(&self, pairs: &[(usize, usize)]) -> Vec<f64> {
+        self.pair_covariances_with_threads(pairs, crate::parallel::num_threads())
+    }
+
+    /// [`CenteredMeasurements::pair_covariances`] with an explicit
+    /// thread count (1 forces the serial path).
+    pub fn pair_covariances_with_threads(
+        &self,
+        pairs: &[(usize, usize)],
+        n_threads: usize,
+    ) -> Vec<f64> {
+        let mut out = vec![0.0; pairs.len()];
+        if pairs.is_empty() {
+            return out;
+        }
+        let threads = n_threads
+            .max(1)
+            .min(pairs.len().div_ceil(MIN_PAIRS_PER_THREAD));
+        if threads <= 1 {
+            self.pair_cov_block(pairs, &mut out);
+            return out;
+        }
+        let chunk = pairs.len().div_ceil(threads);
+        crossbeam::scope(|scope| {
+            for (pair_chunk, out_chunk) in pairs.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                scope.spawn(move |_| self.pair_cov_block(pair_chunk, out_chunk));
+            }
+        })
+        .expect("covariance worker panicked");
+        out
+    }
+
+    /// Computes one block of pair covariances into `out`.
+    ///
+    /// Pairs are processed in groups of four so four independent
+    /// accumulation chains are in flight, hiding the floating-point add
+    /// latency that bounds a single running dot product. Each entry
+    /// still accumulates over snapshots in ascending order into its own
+    /// accumulator, which is what makes the result independent of the
+    /// grouping (and of the thread count in the caller).
+    fn pair_cov_block(&self, pairs: &[(usize, usize)], out: &mut [f64]) {
+        let denom = (self.snapshots - 1) as f64;
+        let m = self.snapshots;
+        let mut q = 0;
+        // Four pairs per iteration of one shared snapshot loop: four
+        // independent accumulator chains advance together, so the adds
+        // of one chain hide the latency of the others.
+        while q + 4 <= pairs.len() {
+            let a0 = self.dev_row(pairs[q].0);
+            let b0 = self.dev_row(pairs[q].1);
+            let a1 = self.dev_row(pairs[q + 1].0);
+            let b1 = self.dev_row(pairs[q + 1].1);
+            let a2 = self.dev_row(pairs[q + 2].0);
+            let b2 = self.dev_row(pairs[q + 2].1);
+            let a3 = self.dev_row(pairs[q + 3].0);
+            let b3 = self.dev_row(pairs[q + 3].1);
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+            for l in 0..m {
+                s0 += a0[l] * b0[l];
+                s1 += a1[l] * b1[l];
+                s2 += a2[l] * b2[l];
+                s3 += a3[l] * b3[l];
+            }
+            out[q] = s0 / denom;
+            out[q + 1] = s1 / denom;
+            out[q + 2] = s2 / denom;
+            out[q + 3] = s3 / denom;
+            q += 4;
+        }
+        for q in q..pairs.len() {
+            out[q] = dot(self.dev_row(pairs[q].0), self.dev_row(pairs[q].1)) / denom;
+        }
+    }
+
+    /// The full `n_p × n_p` sample covariance matrix (small systems:
+    /// `n_p²` doubles are materialised).
+    pub fn full_covariance(&self) -> losstomo_linalg::Matrix {
+        let n = self.n_paths;
+        let mut cov = losstomo_linalg::Matrix::zeros(n, n);
+        let denom = (self.snapshots - 1) as f64;
+        for i in 0..n {
+            let di = self.dev_row(i);
+            for j in i..n {
+                let c = dot(di, self.dev_row(j)) / denom;
+                cov[(i, j)] = c;
+                cov[(j, i)] = c;
+            }
+        }
+        cov
+    }
+}
+
+/// Dot product of two equal-length slices, accumulating in ascending
+/// index order (a single chain — bit-compatible with the historical
+/// per-entry covariance loop).
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut s = 0.0;
+    for (x, y) in a.iter().zip(b.iter()) {
+        s += x * y;
+    }
+    s
 }
 
 #[cfg(test)]
@@ -139,6 +269,53 @@ mod tests {
         let c = CenteredMeasurements::from_rows(rows());
         assert_eq!(c.snapshots(), 4);
         assert_eq!(c.paths(), 3);
+    }
+
+    #[test]
+    fn pair_covariances_match_per_entry_bitwise() {
+        let c = CenteredMeasurements::from_rows(rows());
+        let pairs: Vec<(usize, usize)> = (0..3)
+            .flat_map(|i| (i..3).map(move |j| (i, j)))
+            .collect();
+        let batch = c.pair_covariances(&pairs);
+        for (r, &(i, j)) in pairs.iter().enumerate() {
+            assert_eq!(batch[r], c.cov(i, j), "pair ({i},{j})");
+        }
+        assert!(c.pair_covariances(&[]).is_empty());
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        // Enough pairs to actually exercise the chunked path.
+        let m = 16;
+        let n = 40;
+        let rows: Vec<Vec<f64>> = (0..m)
+            .map(|l| {
+                (0..n)
+                    .map(|i| (((l * 31 + i * 17 + 3) % 97) as f64) / 9.7 - 5.0)
+                    .collect()
+            })
+            .collect();
+        let c = CenteredMeasurements::from_rows(rows);
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| (i..n).map(move |j| (i, j)))
+            .collect();
+        let serial = c.pair_covariances_with_threads(&pairs, 1);
+        for threads in [2, 3, 8] {
+            let parallel = c.pair_covariances_with_threads(&pairs, threads);
+            assert_eq!(serial, parallel, "{threads} threads drifted");
+        }
+    }
+
+    #[test]
+    fn full_covariance_agrees_with_cov() {
+        let c = CenteredMeasurements::from_rows(rows());
+        let full = c.full_covariance();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(full[(i, j)], c.cov(i, j));
+            }
+        }
     }
 
     #[test]

@@ -180,16 +180,14 @@ pub fn score_against_truth(
 
 /// Runs `n_runs` experiments with seeds `cfg.seed .. cfg.seed + n_runs`,
 /// in parallel across threads (crossbeam scoped threads; results are
-/// returned in seed order).
+/// returned in seed order). Worker count follows
+/// [`crate::parallel::num_threads`] (`LOSSTOMO_THREADS` caps it).
 pub fn run_many(
     red: &ReducedTopology,
     cfg: &ExperimentConfig,
     n_runs: usize,
 ) -> Vec<Result<ExperimentResult, LinalgError>> {
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(n_runs.max(1));
+    let n_threads = crate::parallel::num_threads().min(n_runs.max(1));
     let results = parking_lot::Mutex::new(Vec::with_capacity(n_runs));
     for _ in 0..n_runs {
         results.lock().push(None);

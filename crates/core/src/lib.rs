@@ -41,6 +41,7 @@
 //! * [`analysis`] — Figure-3 scatter, Table-3 AS split, §7.2.2 durations
 //! * [`identifiability`] — rank diagnostics for `R` and `A`
 //! * [`experiment`] — the end-to-end simulation harness
+//! * [`parallel`] — thread-count policy for the parallel stages
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,6 +55,7 @@ pub mod experiment;
 pub mod identifiability;
 pub mod lia;
 pub mod metrics;
+pub mod parallel;
 pub mod scfs;
 pub mod validate;
 pub mod variance;

@@ -1,0 +1,12 @@
+//! Thread-count policy for the parallel stages of the pipeline.
+//!
+//! Every parallel code path in this crate (covariance assembly,
+//! [`crate::experiment::run_many`]) sizes its worker pool with
+//! [`num_threads`], which delegates to the workspace-wide policy in
+//! [`losstomo_linalg::parallel`]: the machine's available parallelism,
+//! optionally capped by the `LOSSTOMO_THREADS` environment variable.
+//! All parallel stages are written so that results are bit-identical at
+//! any thread count — the knob trades wall-clock for CPU occupancy,
+//! never results.
+
+pub use losstomo_linalg::parallel::num_threads;

@@ -64,25 +64,6 @@ pub fn estimate_variances(
     centered: &CenteredMeasurements,
     cfg: &VarianceConfig,
 ) -> Result<VarianceEstimate, LinalgError> {
-    match estimate_variances_inner(red, aug, centered, cfg) {
-        Ok(est) => Ok(est),
-        Err(_) if cfg.drop_negative_covariances => {
-            let retry = VarianceConfig {
-                drop_negative_covariances: false,
-                ..*cfg
-            };
-            estimate_variances_inner(red, aug, centered, &retry)
-        }
-        Err(e) => Err(e),
-    }
-}
-
-fn estimate_variances_inner(
-    red: &ReducedTopology,
-    aug: &AugmentedSystem,
-    centered: &CenteredMeasurements,
-    cfg: &VarianceConfig,
-) -> Result<VarianceEstimate, LinalgError> {
     assert_eq!(
         centered.paths(),
         red.num_paths(),
@@ -90,82 +71,167 @@ fn estimate_variances_inner(
         centered.paths(),
         red.num_paths()
     );
+    // One-pass covariance: every Σ̂_{ii'} the augmented system needs,
+    // computed from the flat centred deviations in a single (parallel)
+    // sweep instead of one O(m) strided walk per row — and computed
+    // once, shared by the retry below.
+    let sigmas = centered.pair_covariances(&aug.pair_indices());
+    if cfg.backend == LstsqBackend::NormalEquations {
+        // The normal-equations path folds the retry into one assembly:
+        // dropped-row contributions are recorded by index and added to
+        // the already-built system if the kept rows prove singular.
+        return estimate_normal_equations(red, aug, &sigmas, cfg);
+    }
+    match estimate_variances_inner(red, aug, &sigmas, cfg) {
+        Ok(est) => Ok(est),
+        Err(_) if cfg.drop_negative_covariances => {
+            let retry = VarianceConfig {
+                drop_negative_covariances: false,
+                ..*cfg
+            };
+            estimate_variances_inner(red, aug, &sigmas, &retry)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Phase 1 via the normal equations, with the paper's negative-row drop
+/// and its all-rows fallback sharing one assembly.
+///
+/// The kept rows' `AᵀA` / `AᵀΣ*` are accumulated exactly as the
+/// dropped-row rule dictates (so the successful first attempt is
+/// bit-identical to the historical two-pass code); the dropped rows are
+/// remembered by index, and only if the kept system turns out singular
+/// are their contributions folded in — a sparse `O(Σ s_r²)` patch
+/// instead of a second full sweep. Gram entries are small integer
+/// counts, so the fold-in order cannot change them.
+fn estimate_normal_equations(
+    red: &ReducedTopology,
+    aug: &AugmentedSystem,
+    sigmas: &[f64],
+    cfg: &VarianceConfig,
+) -> Result<VarianceEstimate, LinalgError> {
+    let nc = red.num_links();
+    // `AᵀA` entries are co-occurrence counts; accumulating them as u32
+    // halves the randomly-accessed footprint of the assembly sweep (the
+    // scattered `(ka, kb)` updates are cache-miss-bound) and converts
+    // exactly to f64 afterwards.
+    let mut counts = vec![0u32; nc * nc];
+    let mut atb = vec![0.0; nc];
+    let mut dropped_idx: Vec<usize> = Vec::new();
+    for (r, ((_, links), &sigma)) in aug.iter().zip(sigmas.iter()).enumerate() {
+        if cfg.drop_negative_covariances && sigma < 0.0 {
+            dropped_idx.push(r);
+            continue;
+        }
+        for (ai, &ka) in links.iter().enumerate() {
+            atb[ka] += sigma;
+            let crow = &mut counts[ka * nc..(ka + 1) * nc];
+            for &kb in &links[ai..] {
+                crow[kb] += 1;
+            }
+        }
+    }
+    let used = aug.num_rows() - dropped_idx.len();
+    let mut gram = Matrix::zeros(nc, nc);
+    counts_to_symmetric(&counts, gram.as_mut_slice(), nc);
+    let first_error = if used >= nc {
+        match lstsq::solve_spd(&gram, &atb) {
+            Ok(v) => {
+                return Ok(VarianceEstimate {
+                    v,
+                    dropped_rows: dropped_idx.len(),
+                    used_rows: used,
+                });
+            }
+            Err(e) => e,
+        }
+    } else {
+        LinalgError::DimensionMismatch(format!(
+            "only {used} usable covariance rows for {nc} links"
+        ))
+    };
+    if dropped_idx.is_empty() {
+        // Nothing was dropped: the failure is genuine.
+        return Err(first_error);
+    }
+    // Fold the dropped rows back in and solve the all-rows system (the
+    // paper's rows are only "redundant" when enough of them survive).
+    for &r in &dropped_idx {
+        let links = aug.row(r);
+        let sigma = sigmas[r];
+        for (ai, &ka) in links.iter().enumerate() {
+            atb[ka] += sigma;
+            let crow = &mut counts[ka * nc..(ka + 1) * nc];
+            for &kb in &links[ai..] {
+                crow[kb] += 1;
+            }
+        }
+    }
+    counts_to_symmetric(&counts, gram.as_mut_slice(), nc);
+    let v = lstsq::solve_spd(&gram, &atb)?;
+    Ok(VarianceEstimate {
+        v,
+        dropped_rows: 0,
+        used_rows: aug.num_rows(),
+    })
+}
+
+/// Expands upper-triangle co-occurrence counts into a full symmetric
+/// f64 matrix (exact: the counts are small integers).
+fn counts_to_symmetric(counts: &[u32], gram: &mut [f64], n: usize) {
+    for j in 0..n {
+        for k in j..n {
+            let v = counts[j * n + k] as f64;
+            gram[j * n + k] = v;
+            gram[k * n + j] = v;
+        }
+    }
+}
+
+/// Phase 1 via the paper's textbook method: materialise the kept rows
+/// and factor with Householder reflections. The rows are written
+/// straight into one flat row-major buffer (no per-row `Vec`, no copy
+/// into the `Matrix` afterwards). Only used with
+/// [`LstsqBackend::HouseholderQr`]; the normal-equations backend takes
+/// the fused path above.
+fn estimate_variances_inner(
+    red: &ReducedTopology,
+    aug: &AugmentedSystem,
+    sigmas: &[f64],
+    cfg: &VarianceConfig,
+) -> Result<VarianceEstimate, LinalgError> {
     let nc = red.num_links();
     let mut dropped = 0usize;
     let mut used = 0usize;
-
-    match cfg.backend {
-        LstsqBackend::NormalEquations => {
-            // Accumulate AᵀA and AᵀΣ* from the sparse rows directly.
-            let mut gram = Matrix::zeros(nc, nc);
-            let mut atb = vec![0.0; nc];
-            for (pair, links) in aug.iter() {
-                let sigma = centered.cov(pair.0.index(), pair.1.index());
-                if cfg.drop_negative_covariances && sigma < 0.0 {
-                    dropped += 1;
-                    continue;
-                }
-                used += 1;
-                for (ai, &ka) in links.iter().enumerate() {
-                    atb[ka] += sigma;
-                    for &kb in &links[ai..] {
-                        gram[(ka, kb)] += 1.0;
-                    }
-                }
-            }
-            for j in 0..nc {
-                for k in (j + 1)..nc {
-                    gram[(k, j)] = gram[(j, k)];
-                }
-            }
-            if used < nc {
-                // Dropping rows left an under-determined system; the
-                // caller retries with all rows kept.
-                return Err(LinalgError::DimensionMismatch(format!(
-                    "only {used} usable covariance rows for {nc} links"
-                )));
-            }
-            let v = lstsq::solve_spd(&gram, &atb)?;
-            Ok(VarianceEstimate {
-                v,
-                dropped_rows: dropped,
-                used_rows: used,
-            })
+    let mut data: Vec<f64> = Vec::new();
+    let mut rhs: Vec<f64> = Vec::new();
+    for ((_, links), &sigma) in aug.iter().zip(sigmas.iter()) {
+        if cfg.drop_negative_covariances && sigma < 0.0 {
+            dropped += 1;
+            continue;
         }
-        LstsqBackend::HouseholderQr => {
-            // The paper's textbook method: materialise the kept rows and
-            // factor with Householder reflections.
-            let mut rows: Vec<Vec<f64>> = Vec::new();
-            let mut rhs: Vec<f64> = Vec::new();
-            for (pair, links) in aug.iter() {
-                let sigma = centered.cov(pair.0.index(), pair.1.index());
-                if cfg.drop_negative_covariances && sigma < 0.0 {
-                    dropped += 1;
-                    continue;
-                }
-                used += 1;
-                let mut row = vec![0.0; nc];
-                for &k in links {
-                    row[k] = 1.0;
-                }
-                rows.push(row);
-                rhs.push(sigma);
-            }
-            if rows.len() < nc {
-                return Err(LinalgError::DimensionMismatch(format!(
-                    "only {} usable covariance rows for {nc} links",
-                    rows.len()
-                )));
-            }
-            let a = Matrix::from_rows(&rows)?;
-            let v = lstsq::solve_least_squares_with(&a, &rhs, LstsqBackend::HouseholderQr)?;
-            Ok(VarianceEstimate {
-                v,
-                dropped_rows: dropped,
-                used_rows: used,
-            })
+        used += 1;
+        let start = data.len();
+        data.resize(start + nc, 0.0);
+        let row = &mut data[start..];
+        for &k in links {
+            row[k] = 1.0;
         }
+        rhs.push(sigma);
     }
+    if used < nc {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "only {used} usable covariance rows for {nc} links"
+        )));
+    }
+    let a = Matrix::from_vec(used, nc, data)?;
+    let v = lstsq::solve_least_squares_with(&a, &rhs, LstsqBackend::HouseholderQr)?;
+    Ok(VarianceEstimate {
+        v,
+        dropped_rows: dropped,
+        used_rows: used,
+    })
 }
 
 #[cfg(test)]

@@ -25,11 +25,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod blocked;
 pub mod cholesky;
 pub mod error;
 pub mod givens;
+mod householder;
 pub mod lstsq;
 pub mod matrix;
+pub mod parallel;
 pub mod pivoted_qr;
 pub mod qr;
 pub mod rank;

@@ -66,9 +66,77 @@ pub fn solve_least_squares_with(
     }
 }
 
+/// Order above which [`solve_spd`] considers a fill-reducing
+/// permutation; below it the system is solved directly (keeping the
+/// historical numerics for small systems exactly).
+const SPD_PERMUTE_MIN_DIM: usize = 128;
+
+/// Density threshold (lower-triangle nonzeros as a fraction of the full
+/// lower triangle, in eighths) below which permutation pays off.
+const SPD_PERMUTE_MAX_DENSITY_EIGHTHS: usize = 2;
+
 /// Solves the symmetric positive-definite system `G x = c` (e.g. normal
 /// equations that were accumulated externally).
+///
+/// Large sparse systems — Phase-1 normal equations over tree-like
+/// topologies have ~1 % density because only links sharing a root path
+/// co-occur — are first symmetrically permuted by ascending row
+/// occupancy. For an ancestor-closure (chordal) sparsity pattern this
+/// approximates a perfect elimination ordering (deepest links first),
+/// so the Cholesky factor stays sparse instead of filling in, and the
+/// blocked kernel's zero-block skipping eliminates most of the work.
+/// The permutation is a similarity transform: the returned solution is
+/// the exact permuted-back solve of the same system (identical in exact
+/// arithmetic, last-bits different in floating point). Dense or small
+/// systems take the direct path unchanged.
 pub fn solve_spd(gram: &Matrix, c: &[f64]) -> Result<Vec<f64>> {
+    let n = gram.rows();
+    if n > SPD_PERMUTE_MIN_DIM && gram.cols() == n && c.len() == n {
+        // Count each row's nonzeros (= symmetric column occupancy).
+        let nnz: Vec<usize> = (0..n)
+            .map(|i| gram.row(i).iter().filter(|&&x| x != 0.0).count())
+            .collect();
+        let total: usize = nnz.iter().sum();
+        if total * 8 <= n * n * SPD_PERMUTE_MAX_DENSITY_EIGHTHS {
+            let mut order: Vec<usize> = (0..n).collect();
+            // Stable sort: deterministic tie-breaking by original index.
+            order.sort_by_key(|&i| nnz[i]);
+            let mut pg = Matrix::zeros(n, n);
+            for (i2, &oi) in order.iter().enumerate() {
+                let src = gram.row(oi);
+                let dst = pg.row_mut(i2);
+                for (d, &oj) in dst.iter_mut().zip(order.iter()) {
+                    *d = src[oj];
+                }
+            }
+            let chol = match Cholesky::new(&pg) {
+                Ok(chol) => chol,
+                Err(LinalgError::NotPositiveDefinite { index }) => {
+                    return Err(LinalgError::NotPositiveDefinite {
+                        index: order[index],
+                    });
+                }
+                Err(e) => return Err(e),
+            };
+            let pc: Vec<f64> = order.iter().map(|&o| c[o]).collect();
+            // Map pivot indices in solver errors back to the caller's
+            // coordinates, like the factorisation error above.
+            let y = match chol.solve(&pc) {
+                Ok(y) => y,
+                Err(LinalgError::Singular { index }) => {
+                    return Err(LinalgError::Singular {
+                        index: order[index],
+                    });
+                }
+                Err(e) => return Err(e),
+            };
+            let mut x = vec![0.0; n];
+            for (&o, &yi) in order.iter().zip(y.iter()) {
+                x[o] = yi;
+            }
+            return Ok(x);
+        }
+    }
     Cholesky::new(gram)?.solve(c)
 }
 

@@ -193,6 +193,12 @@ impl Matrix {
     }
 
     /// Matrix–matrix product `A B`.
+    ///
+    /// Dispatches to the cache-blocked kernel of [`crate::blocked`] when
+    /// all dimensions are large enough to amortise the tile setup; the
+    /// blocked kernel accumulates every output element in exactly the
+    /// reference order, so both paths return bit-identical results for
+    /// finite inputs.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LinalgError::DimensionMismatch(format!(
@@ -200,8 +206,28 @@ impl Matrix {
                 self.rows, self.cols, other.rows, other.cols
             )));
         }
+        let min_dim = self.rows.min(self.cols).min(other.cols);
+        if min_dim >= crate::blocked::DISPATCH_MIN_DIM {
+            return Ok(crate::blocked::matmul(self, other));
+        }
+        self.matmul_reference(other)
+    }
+
+    /// Reference matrix product: the straightforward triple loop in
+    /// i-k-j order, so the inner loop *streams* rows of `other` and the
+    /// output instead of striding down columns (an (i,j,k) order would
+    /// touch `other` column-wise, one cache line per element).
+    ///
+    /// Kept public as the oracle the blocked kernel is property-tested
+    /// against.
+    pub fn matmul_reference(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "A is {}x{}, B is {}x{}",
+                self.rows, self.cols, other.rows, other.cols
+            )));
+        }
         let mut c = Matrix::zeros(self.rows, other.cols);
-        // i-k-j loop order keeps both B and C accesses row-contiguous.
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let aik = self[(i, k)];
@@ -219,7 +245,22 @@ impl Matrix {
     }
 
     /// Returns `AᵀA` (the Gram matrix), exploiting symmetry.
+    ///
+    /// Dispatches to the cache-blocked kernel for large matrices; both
+    /// paths accumulate in the same order and agree bit-for-bit on
+    /// finite inputs.
     pub fn gram(&self) -> Matrix {
+        if self.rows >= crate::blocked::DISPATCH_MIN_DIM
+            && self.cols >= crate::blocked::DISPATCH_MIN_DIM
+        {
+            return crate::blocked::gram(self);
+        }
+        self.gram_reference()
+    }
+
+    /// Reference Gram product (single accumulator chain per entry),
+    /// kept public as the property-test oracle for the blocked kernel.
+    pub fn gram_reference(&self) -> Matrix {
         let n = self.cols;
         let mut g = Matrix::zeros(n, n);
         for i in 0..self.rows {

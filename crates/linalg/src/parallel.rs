@@ -1,0 +1,36 @@
+//! Worker-pool sizing shared by every parallel stage of the workspace.
+//!
+//! `losstomo-linalg` is the lowest crate in the dependency graph, so
+//! the covariance sweep (`losstomo-core`), the experiment harness's
+//! `run_many`, and the snapshot batch simulator (`losstomo-netsim`)
+//! all size their pools through this one policy. Every parallel stage
+//! is written so that results are bit-identical at any thread count —
+//! the knob trades wall-clock for CPU occupancy, never results.
+
+/// Worker threads to use for parallel stages.
+///
+/// Reads `LOSSTOMO_THREADS` (values `>= 1`; anything unparseable is
+/// ignored) and otherwise defaults to
+/// [`std::thread::available_parallelism`].
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("LOSSTOMO_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_at_least_one() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -11,6 +11,7 @@
 //! (`m < n`): it simply stops after `min(m, n)` reflections.
 
 use crate::error::LinalgError;
+use crate::householder::{apply_reflector, reflect_column, ReflectorScratch};
 use crate::matrix::Matrix;
 use crate::Result;
 
@@ -42,6 +43,7 @@ impl PivotedQr {
             .collect();
 
         let steps = m.min(n);
+        let mut scratch = ReflectorScratch::default();
         for k in 0..steps {
             // Pivot: bring the trailing column with the largest remaining
             // norm into position k. Recompute norms periodically to avoid
@@ -67,7 +69,7 @@ impl PivotedQr {
                 perm.swap(k, pivot_col);
                 col_norms.swap(k, pivot_col);
             }
-            tau[k] = reflect_column(&mut packed, k);
+            tau[k] = reflect_column(&mut packed, k, &mut scratch);
             // Downdate trailing column norms: after zeroing below-diagonal
             // entries in column k, each trailing column loses its k-th
             // row's contribution.
@@ -163,59 +165,6 @@ impl PivotedQr {
             x[orig] = y[k];
         }
         Ok(x)
-    }
-}
-
-// The two helpers below mirror qr.rs but live here privately so the two
-// factorisations stay independently readable and testable.
-
-fn reflect_column(packed: &mut Matrix, k: usize) -> f64 {
-    let m = packed.rows();
-    let mut norm_sq = 0.0;
-    for i in k..m {
-        let x = packed[(i, k)];
-        norm_sq += x * x;
-    }
-    let norm = norm_sq.sqrt();
-    if norm == 0.0 {
-        return 0.0;
-    }
-    let alpha = packed[(k, k)];
-    let beta = if alpha >= 0.0 { -norm } else { norm };
-    let tau = (beta - alpha) / beta;
-    let scale = 1.0 / (alpha - beta);
-    for i in (k + 1)..m {
-        packed[(i, k)] *= scale;
-    }
-    packed[(k, k)] = beta;
-    for j in (k + 1)..packed.cols() {
-        let mut dot = packed[(k, j)];
-        for i in (k + 1)..m {
-            dot += packed[(i, k)] * packed[(i, j)];
-        }
-        let t = tau * dot;
-        packed[(k, j)] -= t;
-        for i in (k + 1)..m {
-            let vik = packed[(i, k)];
-            packed[(i, j)] -= t * vik;
-        }
-    }
-    tau
-}
-
-fn apply_reflector(packed: &Matrix, k: usize, tau: f64, y: &mut [f64]) {
-    if tau == 0.0 {
-        return;
-    }
-    let m = packed.rows();
-    let mut dot = y[k];
-    for i in (k + 1)..m {
-        dot += packed[(i, k)] * y[i];
-    }
-    let t = tau * dot;
-    y[k] -= t;
-    for i in (k + 1)..m {
-        y[i] -= t * packed[(i, k)];
     }
 }
 

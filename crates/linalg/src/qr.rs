@@ -9,6 +9,7 @@
 //! coefficients `tau`.
 
 use crate::error::LinalgError;
+use crate::householder::{apply_reflector, reflect_column, ReflectorScratch};
 use crate::matrix::Matrix;
 use crate::triangular::solve_upper_triangular;
 use crate::Result;
@@ -41,8 +42,9 @@ impl Qr {
         }
         let mut packed = a.clone();
         let mut tau = vec![0.0; n];
+        let mut scratch = ReflectorScratch::default();
         for (k, tk) in tau.iter_mut().enumerate() {
-            *tk = reflect_column(&mut packed, k);
+            *tk = reflect_column(&mut packed, k, &mut scratch);
         }
         Ok(Qr { packed, tau })
     }
@@ -134,66 +136,6 @@ impl Qr {
         let mut qtb = b.to_vec();
         self.apply_qt(&mut qtb)?;
         solve_upper_triangular(&self.packed, &qtb[..n])
-    }
-}
-
-/// Builds the Householder reflector that annihilates column `k` of
-/// `packed` below the diagonal, stores it in place, and returns `tau`.
-///
-/// The reflector is `H = I − tau · w wᵀ` with `w = [1, v]` where `v` is
-/// stored in rows `k+1..m` of column `k`.
-fn reflect_column(packed: &mut Matrix, k: usize) -> f64 {
-    let m = packed.rows();
-    // norm of the column below (and including) the diagonal
-    let mut norm_sq = 0.0;
-    for i in k..m {
-        let x = packed[(i, k)];
-        norm_sq += x * x;
-    }
-    let norm = norm_sq.sqrt();
-    if norm == 0.0 {
-        // Zero column: nothing to reflect, tau = 0 encodes the identity.
-        return 0.0;
-    }
-    let alpha = packed[(k, k)];
-    // Choose the sign that avoids cancellation.
-    let beta = if alpha >= 0.0 { -norm } else { norm };
-    let tau = (beta - alpha) / beta;
-    let scale = 1.0 / (alpha - beta);
-    for i in (k + 1)..m {
-        packed[(i, k)] *= scale;
-    }
-    packed[(k, k)] = beta;
-    // Apply the reflector to the trailing columns.
-    for j in (k + 1)..packed.cols() {
-        let mut dot = packed[(k, j)];
-        for i in (k + 1)..m {
-            dot += packed[(i, k)] * packed[(i, j)];
-        }
-        let t = tau * dot;
-        packed[(k, j)] -= t;
-        for i in (k + 1)..m {
-            let vik = packed[(i, k)];
-            packed[(i, j)] -= t * vik;
-        }
-    }
-    tau
-}
-
-/// Applies the `k`-th stored reflector to a vector in place.
-fn apply_reflector(packed: &Matrix, k: usize, tau: f64, y: &mut [f64]) {
-    if tau == 0.0 {
-        return;
-    }
-    let m = packed.rows();
-    let mut dot = y[k];
-    for i in (k + 1)..m {
-        dot += packed[(i, k)] * y[i];
-    }
-    let t = tau * dot;
-    y[k] -= t;
-    for i in (k + 1)..m {
-        y[i] -= t * packed[(i, k)];
     }
 }
 

@@ -69,6 +69,12 @@ pub fn solve_lower_triangular(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     Ok(x)
 }
 
+/// Order above which [`solve_lower_transposed`] switches to its
+/// row-streaming (saxpy) form. The small-system path keeps the exact
+/// historical accumulation order; the large path reorders the same
+/// subtractions to stream rows of `L` instead of striding down columns.
+const TRANSPOSED_STREAM_MIN: usize = 128;
+
 /// Solves `Lᵀ x = b` reading only the lower triangle of `l` (used by the
 /// Cholesky solver to avoid materialising `Lᵀ`).
 pub fn solve_lower_transposed(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
@@ -82,6 +88,25 @@ pub fn solve_lower_transposed(l: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     }
     let tol = PIVOT_RTOL * max_diag_abs(l, n);
     let mut x = b.to_vec();
+    if n > TRANSPOSED_STREAM_MIN {
+        // Saxpy back-substitution: once x[j] is known, its contribution
+        // is subtracted from every pending entry in one contiguous
+        // sweep over row j of L (column i of Lᵀ strides the matrix;
+        // row j does not).
+        for j in (0..n).rev() {
+            let pivot = l[(j, j)];
+            if pivot.abs() <= tol {
+                return Err(LinalgError::Singular { index: j });
+            }
+            let xj = x[j] / pivot;
+            x[j] = xj;
+            let row = &l.row(j)[..j];
+            for (xi, lji) in x[..j].iter_mut().zip(row.iter()) {
+                *xi -= lji * xj;
+            }
+        }
+        return Ok(x);
+    }
     for i in (0..n).rev() {
         let mut acc = x[i];
         for j in (i + 1)..n {
@@ -127,6 +152,25 @@ mod tests {
         let via_explicit = solve_upper_triangular(&l.transpose(), &b).unwrap();
         for (a, b) in via_helper.iter().zip(via_explicit.iter()) {
             assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn transposed_streaming_path_matches_small_path() {
+        // An SPD factor big enough to take the streaming branch.
+        let n = TRANSPOSED_STREAM_MIN + 17;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..i {
+                l[(i, j)] = (((i * 31 + j * 7) % 11) as f64 - 5.0) / 23.0;
+            }
+            l[(i, i)] = 2.0 + ((i % 5) as f64) / 7.0;
+        }
+        let b: Vec<f64> = (0..n).map(|i| ((i % 13) as f64) - 6.0).collect();
+        let fast = solve_lower_transposed(&l, &b).unwrap();
+        let reference = solve_upper_triangular(&l.transpose(), &b).unwrap();
+        for (a, r) in fast.iter().zip(reference.iter()) {
+            assert!((a - r).abs() < 1e-9, "{a} vs {r}");
         }
     }
 

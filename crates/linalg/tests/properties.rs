@@ -242,4 +242,80 @@ proptest! {
         let err = sp.gram_dense().sub(&sp.to_dense().gram()).unwrap().max_abs();
         prop_assert!(err < 1e-12);
     }
+
+    /// The cache-blocked matmul agrees with the reference triple loop on
+    /// random shapes straddling the dispatch threshold (including sizes
+    /// that are not multiples of the 64-wide tile). The kernels are
+    /// designed to be bit-identical; 1e-12 is asserted as the contract.
+    #[test]
+    fn blocked_matmul_matches_reference(
+        m in 96usize..140,
+        k in 96usize..140,
+        n in 96usize..140,
+        seed in proptest::collection::vec(-3.0f64..3.0, 32)
+    ) {
+        let fill = |rows: usize, cols: usize, off: usize| {
+            let data: Vec<f64> = (0..rows * cols)
+                .map(|t| seed[(t * 31 + off) % seed.len()] * (((t % 7) as f64) - 3.0))
+                .collect();
+            Matrix::from_vec(rows, cols, data).unwrap()
+        };
+        let a = fill(m, k, 1);
+        let b = fill(k, n, 2);
+        let fast = a.matmul(&b).unwrap();
+        let reference = a.matmul_reference(&b).unwrap();
+        let err = fast.sub(&reference).unwrap().max_abs();
+        prop_assert!(err < 1e-12, "max deviation {err}");
+    }
+
+    /// The cache-blocked gram agrees with the reference loop on random
+    /// shapes straddling the dispatch threshold.
+    #[test]
+    fn blocked_gram_matches_reference(
+        m in 96usize..140,
+        n in 96usize..140,
+        seed in proptest::collection::vec(-3.0f64..3.0, 32)
+    ) {
+        let data: Vec<f64> = (0..m * n)
+            .map(|t| seed[(t * 17 + 5) % seed.len()] * (((t % 5) as f64) - 2.0))
+            .collect();
+        let a = Matrix::from_vec(m, n, data).unwrap();
+        let err = a.gram().sub(&a.gram_reference()).unwrap().max_abs();
+        prop_assert!(err < 1e-12, "max deviation {err}");
+    }
+}
+
+/// Degenerate shapes the proptest strategies above cannot reach: empty
+/// matrices, single-row/column operands, and sizes just off the tile
+/// boundary. The blocked kernels must match the reference bitwise.
+#[test]
+fn blocked_kernels_edge_shapes() {
+    let fill = |rows: usize, cols: usize| {
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|t| (((t * 7919 + 3) % 23) as f64) / 2.3 - 5.0)
+            .collect();
+        Matrix::from_vec(rows, cols, data).unwrap()
+    };
+    for &(m, k, n) in &[
+        (0usize, 5usize, 3usize),
+        (3, 0, 4),
+        (4, 5, 0),
+        (1, 200, 1),
+        (1, 1, 200),
+        (200, 1, 200),
+        (63, 64, 65),
+        (128, 129, 127),
+    ] {
+        let a = fill(m, k);
+        let b = fill(k, n);
+        assert_eq!(
+            a.matmul(&b).unwrap(),
+            a.matmul_reference(&b).unwrap(),
+            "matmul shape {m}x{k}x{n}"
+        );
+    }
+    for &(m, n) in &[(0usize, 4usize), (4, 0), (1, 150), (150, 1), (65, 129)] {
+        let a = fill(m, n);
+        assert_eq!(a.gram(), a.gram_reference(), "gram shape {m}x{n}");
+    }
 }

@@ -109,19 +109,52 @@ pub fn simulate_snapshot<R: Rng>(
 
     let n_paths = red.num_paths();
     let mut path_received = vec![0u32; n_paths];
+    // Flattened CSR path → links table, hoisted out of the round loop:
+    // the per-round walk streams one contiguous `u32` array instead of
+    // re-resolving `path_links` through the routing matrix every round.
+    let mut offsets: Vec<usize> = Vec::with_capacity(n_paths + 1);
+    let mut flat_links: Vec<u32> = Vec::new();
+    offsets.push(0);
+    for i in 0..n_paths {
+        let links = red.path_links(losstomo_topology::PathId(i as u32));
+        flat_links.extend(links.iter().map(|&k| k as u32));
+        offsets.push(flat_links.len());
+    }
     match cfg.advance {
         ChainAdvance::PerRound => {
             // One transition per link per round; every packet of the
             // round observes the same state, so all paths through a link
             // sample identical loss fractions (Assumption S.1, exact).
+            //
+            // Lossless fast path: when every link survives the round
+            // (the common case at the paper's ~0.1 % good-link loss
+            // rates), the per-path walk is skipped entirely — every
+            // path delivers its probe and link `k` sees exactly one
+            // arrival per traversing path.
+            let mut arrivals_per_round = vec![0u64; n_links];
+            for &k in &flat_links {
+                arrivals_per_round[k as usize] += 1;
+            }
             let mut good = vec![true; n_links];
             for _round in 0..cfg.probes_per_snapshot {
+                let mut all_good = true;
                 for (g, proc_) in good.iter_mut().zip(processes.iter_mut()) {
                     *g = proc_.packet_survives(rng);
+                    all_good &= *g;
+                }
+                if all_good {
+                    for received in path_received.iter_mut() {
+                        *received += 1;
+                    }
+                    for (t, &a) in truth.iter_mut().zip(arrivals_per_round.iter()) {
+                        t.arrivals += a;
+                    }
+                    continue;
                 }
                 for (i, received) in path_received.iter_mut().enumerate() {
                     let mut survived = true;
-                    for &k in red.path_links(losstomo_topology::PathId(i as u32)) {
+                    for &k in &flat_links[offsets[i]..offsets[i + 1]] {
+                        let k = k as usize;
                         truth[k].arrivals += 1;
                         if !good[k] {
                             truth[k].drops += 1;
@@ -138,11 +171,13 @@ pub fn simulate_snapshot<R: Rng>(
         ChainAdvance::PerArrival => {
             // Round-robin probe rounds: round s sends the s-th probe of
             // every path back-to-back; the chain transitions on every
-            // arrival.
+            // arrival (no lossless fast path: every arrival must
+            // advance its link's chain).
             for _round in 0..cfg.probes_per_snapshot {
                 for (i, received) in path_received.iter_mut().enumerate() {
                     let mut survived = true;
-                    for &k in red.path_links(losstomo_topology::PathId(i as u32)) {
+                    for &k in &flat_links[offsets[i]..offsets[i + 1]] {
+                        let k = k as usize;
                         truth[k].arrivals += 1;
                         if !processes[k].packet_survives(rng) {
                             truth[k].drops += 1;
@@ -183,6 +218,53 @@ pub fn simulate_run<R: Rng>(
         snapshots.push(simulate_snapshot(red, scenario, cfg, rng));
     }
     MeasurementSet { snapshots }
+}
+
+/// Simulates independent runs — one per seed, each starting from a
+/// clone of `scenario` with its own `StdRng` — in parallel across
+/// threads.
+///
+/// Results are returned in seed order and are bit-identical to calling
+/// [`simulate_run`] serially with the same seeds: each run's RNG stream
+/// is derived only from its seed, so the thread schedule cannot leak
+/// into the measurements. Worker count follows the workspace-wide
+/// policy in [`losstomo_linalg::parallel`] (available parallelism,
+/// capped by the `LOSSTOMO_THREADS` environment variable).
+pub fn simulate_run_batch(
+    red: &ReducedTopology,
+    scenario: &CongestionScenario,
+    cfg: &ProbeConfig,
+    n_snapshots: usize,
+    seeds: &[u64],
+) -> Vec<MeasurementSet> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let run_one = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scenario = scenario.clone();
+        simulate_run(red, &mut scenario, cfg, n_snapshots, &mut rng)
+    };
+    let threads = losstomo_linalg::parallel::num_threads().min(seeds.len().max(1));
+    if threads <= 1 {
+        return seeds.iter().map(|&s| run_one(s)).collect();
+    }
+    let mut out: Vec<Option<MeasurementSet>> = Vec::new();
+    out.resize_with(seeds.len(), || None);
+    let chunk = seeds.len().div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for (seed_chunk, out_chunk) in seeds.chunks(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move |_| {
+                for (slot, &seed) in out_chunk.iter_mut().zip(seed_chunk) {
+                    *slot = Some(run_one(seed));
+                }
+            });
+        }
+    })
+    .expect("simulation worker panicked");
+    out.into_iter()
+        .map(|ms| ms.expect("all slots filled by workers"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -385,6 +467,69 @@ mod tests {
         };
         let snap = simulate_snapshot(&red, &scenario, &cfg, &mut rng);
         assert!(snap.path_received.iter().any(|&r| r < 1000));
+    }
+
+    #[test]
+    fn batch_matches_serial_runs() {
+        let red = fig1_reduced();
+        let mut rng = StdRng::seed_from_u64(21);
+        let scenario = CongestionScenario::draw(
+            red.num_links(),
+            0.4,
+            CongestionDynamics::Redraw,
+            &mut rng,
+        );
+        let cfg = ProbeConfig {
+            probes_per_snapshot: 50,
+            ..ProbeConfig::default()
+        };
+        let seeds: Vec<u64> = (100..107).collect();
+        let batch = simulate_run_batch(&red, &scenario, &cfg, 4, &seeds);
+        for (&seed, ms) in seeds.iter().zip(batch.iter()) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sc = scenario.clone();
+            let serial = simulate_run(&red, &mut sc, &cfg, 4, &mut rng);
+            assert_eq!(serial.len(), ms.len());
+            for (a, b) in serial.snapshots.iter().zip(ms.snapshots.iter()) {
+                assert_eq!(a.path_received, b.path_received, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_preserves_conservation_laws() {
+        // Mostly-lossless run (good links at ≤0.2 % loss): the bulk
+        // update for all-good rounds must keep the exact accounting
+        // identities that the per-path walk maintains.
+        let red = fig1_reduced();
+        let mut rng = StdRng::seed_from_u64(30);
+        let scenario = CongestionScenario::draw(
+            red.num_links(),
+            0.0,
+            CongestionDynamics::Fixed,
+            &mut rng,
+        );
+        let cfg = ProbeConfig {
+            probes_per_snapshot: 2000,
+            ..ProbeConfig::default()
+        };
+        let snap = simulate_snapshot(&red, &scenario, &cfg, &mut rng);
+        let probes = cfg.probes_per_snapshot as u64;
+        let n_paths = red.num_paths() as u64;
+        // Every dropped probe removes exactly one delivery.
+        let received: u64 = snap.path_received.iter().map(|&r| r as u64).sum();
+        let drops: u64 = snap.link_truth.iter().map(|t| t.drops).sum();
+        assert_eq!(received + drops, probes * n_paths);
+        // The shared root link carries every probe of every path.
+        let ppl = red.paths_per_link();
+        let root = (0..red.num_links())
+            .find(|&k| ppl[k].len() == red.num_paths())
+            .expect("figure-1 tree has a shared root link");
+        assert_eq!(snap.link_truth[root].arrivals, probes * n_paths);
+        // No link sees more arrivals than probes × traversing paths.
+        for (k, t) in snap.link_truth.iter().enumerate() {
+            assert!(t.arrivals <= probes * ppl[k].len() as u64);
+        }
     }
 
     #[test]

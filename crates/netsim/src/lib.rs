@@ -28,7 +28,9 @@ pub mod scenario;
 pub mod snapshot;
 pub mod traceroute;
 
-pub use engine::{simulate_run, simulate_snapshot, ChainAdvance, ProbeConfig};
+pub use engine::{
+    simulate_run, simulate_run_batch, simulate_snapshot, ChainAdvance, ProbeConfig,
+};
 pub use loss::{BernoulliProcess, GilbertProcess, LossProcess, LossProcessKind};
 pub use models::{LossModel, DEFAULT_LOSS_THRESHOLD};
 pub use scenario::{CongestionDynamics, CongestionScenario};
