@@ -1,0 +1,216 @@
+//! stream_phase1 — per-snapshot latency of the streaming estimator vs
+//! a full batch recompute.
+//!
+//! Warms an `OnlineEstimator` with `m` snapshots on the paper's tree
+//! topology, then times the next `k` snapshots two ways:
+//!
+//! * **online** — one `OnlineEstimator::ingest` call: Welford update,
+//!   exact covariance replay, gram-cache-patched Phase-1 solve,
+//!   order-memoized Phase-2 estimate;
+//! * **batch** — the full recompute a cron-style monitor would run:
+//!   re-extract every snapshot's log rates, re-centre, re-sweep the
+//!   covariances, re-assemble and re-solve Phase 1, re-run the Phase-2
+//!   rank bisection and factorisation.
+//!
+//! Both paths see identical data, share the prebuilt augmented system,
+//! and are asserted to produce **bit-identical** estimates (the
+//! default `OnlineEstimator` configuration is exact). Writes a
+//! machine-readable report to `BENCH_stream.json` at the repo root
+//! (override with `--out PATH`); CI runs `--scale quick` and
+//! schema-checks the JSON.
+//!
+//! Flags: `--scale quick|paper`, `--out PATH`.
+
+use losstomo_bench::{flag_value, tree_topology, PreparedTopology, Scale};
+use losstomo_core::augmented::AugmentedSystem;
+use losstomo_core::covariance::CenteredMeasurements;
+use losstomo_core::{
+    estimate_variances, infer_link_rates, LiaConfig, OnlineConfig, OnlineEstimator,
+    VarianceConfig,
+};
+use losstomo_netsim::{
+    simulate_run_batch, CongestionDynamics, CongestionScenario, MeasurementSet, ProbeConfig,
+    Snapshot,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct StreamReport {
+    schema_version: u64,
+    generated_by: String,
+    scale: String,
+    topology: String,
+    paths: usize,
+    links: usize,
+    aug_rows: usize,
+    warmup_snapshots: usize,
+    measured_snapshots: usize,
+    /// Median wall-clock of one online ingest (covariance update +
+    /// refresh + Phase-2 estimate), milliseconds.
+    online_ingest_ms: f64,
+    /// Median wall-clock of the equivalent batch recompute, ms.
+    batch_recompute_ms: f64,
+    /// `batch_recompute_ms / online_ingest_ms`.
+    speedup: f64,
+    /// Online and batch estimates agree bit-for-bit on every measured
+    /// snapshot.
+    bitwise_identical: bool,
+}
+
+fn ms(t: std::time::Duration) -> f64 {
+    t.as_secs_f64() * 1e3
+}
+
+fn median(samples: &mut [std::time::Duration]) -> std::time::Duration {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// The batch recompute a periodic monitor would run after snapshot `t`:
+/// Phase 1 over snapshots `0..=t`, Phase 2 on snapshot `t`. Returns the
+/// Phase-1 variances and the Phase-2 transmission rates.
+fn batch_recompute(
+    prep: &PreparedTopology,
+    aug: &AugmentedSystem,
+    snapshots: &[Snapshot],
+    eval: &Snapshot,
+) -> (Vec<f64>, Vec<f64>) {
+    let train = MeasurementSet {
+        snapshots: snapshots.to_vec(),
+    };
+    let centered = CenteredMeasurements::new(&train);
+    let est_v = estimate_variances(&prep.red, aug, &centered, &VarianceConfig::default())
+        .expect("batch phase 1");
+    let est = infer_link_rates(&prep.red, &est_v.v, &eval.log_rates(), &LiaConfig::default())
+        .expect("batch phase 2");
+    (est_v.v, est.transmission)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let scale_name = match scale {
+        Scale::Paper => "paper",
+        Scale::Quick => "quick",
+    };
+    let warmup = 50;
+    let measured = 10;
+    println!("stream_phase1 — streaming vs batch per-snapshot latency ({scale_name} scale)");
+    println!();
+
+    let prep = tree_topology(scale, 11);
+    let red = &prep.red;
+    let mut rng = StdRng::seed_from_u64(7);
+    let scenario =
+        CongestionScenario::draw(red.num_links(), 0.1, CongestionDynamics::Fixed, &mut rng);
+    let probe = ProbeConfig::default();
+    let all: MeasurementSet = simulate_run_batch(red, &scenario, &probe, warmup + measured, &[1])
+        .into_iter()
+        .next()
+        .expect("one run requested");
+
+    let aug = AugmentedSystem::build(red);
+    println!(
+        "topology: {} — {} paths, {} links, {} augmented rows",
+        prep.name,
+        red.num_paths(),
+        red.num_links(),
+        aug.num_rows()
+    );
+
+    // Warm the online estimator (untimed: steady-state is what a
+    // long-running monitor pays per snapshot).
+    let mut online = OnlineEstimator::new(red, OnlineConfig::default());
+    for snap in &all.snapshots[..warmup] {
+        online.ingest(snap).expect("warmup ingest");
+    }
+
+    let header = format!(
+        "{:<10} {:>14} {:>14} {:>9}",
+        "snapshot", "online", "batch", "speedup"
+    );
+    println!();
+    println!("{header}");
+    losstomo_bench::rule(&header);
+
+    let mut online_samples = Vec::new();
+    let mut batch_samples = Vec::new();
+    let mut bitwise_identical = true;
+    for t in warmup..warmup + measured {
+        let snap = &all.snapshots[t];
+
+        let t0 = Instant::now();
+        let update = online.ingest(snap).expect("online ingest");
+        let online_dt = t0.elapsed();
+        let online_v = online.variances().expect("warm estimator").v.clone();
+        let online_tx = update
+            .estimate
+            .as_ref()
+            .expect("warm estimator scores every snapshot")
+            .transmission
+            .clone();
+
+        let t0 = Instant::now();
+        let (batch_v, batch_tx) = batch_recompute(&prep, &aug, &all.snapshots[..=t], snap);
+        let batch_dt = t0.elapsed();
+
+        bitwise_identical &= online_v == batch_v && online_tx == batch_tx;
+        println!(
+            "{:<10} {:>12.2}ms {:>12.2}ms {:>8.2}x",
+            t,
+            ms(online_dt),
+            ms(batch_dt),
+            ms(batch_dt) / ms(online_dt).max(1e-9)
+        );
+        online_samples.push(online_dt);
+        batch_samples.push(batch_dt);
+    }
+
+    let online_med = ms(median(&mut online_samples));
+    let batch_med = ms(median(&mut batch_samples));
+    let speedup = batch_med / online_med.max(1e-9);
+    println!();
+    println!(
+        "median per snapshot: online {online_med:.2}ms, batch {batch_med:.2}ms ({speedup:.2}x)"
+    );
+    assert!(
+        bitwise_identical,
+        "online and batch estimates drifted — the exactness contract is broken"
+    );
+    // The strictly-faster requirement is a paper-scale claim; at quick
+    // scale both paths run in ~1 ms and scheduling noise on a shared
+    // runner could flip the medians, so CI only schema-checks there.
+    if scale == Scale::Paper {
+        assert!(
+            online_med < batch_med,
+            "online refresh ({online_med:.2}ms) must beat the batch recompute ({batch_med:.2}ms)"
+        );
+    }
+
+    let report = StreamReport {
+        schema_version: 1,
+        generated_by: "stream_phase1".to_string(),
+        scale: scale_name.to_string(),
+        topology: prep.name.to_string(),
+        paths: red.num_paths(),
+        links: red.num_links(),
+        aug_rows: aug.num_rows(),
+        warmup_snapshots: warmup,
+        measured_snapshots: measured,
+        online_ingest_ms: online_med,
+        batch_recompute_ms: batch_med,
+        speedup,
+        bitwise_identical,
+    };
+    let out_path = flag_value("--out").unwrap_or_else(default_out_path);
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write(&out_path, json + "\n").expect("write BENCH_stream.json");
+    println!("wrote {out_path}");
+}
+
+/// Default output location: `BENCH_stream.json` at the repository root.
+fn default_out_path() -> String {
+    format!("{}/../../BENCH_stream.json", env!("CARGO_MANIFEST_DIR"))
+}

@@ -1,9 +1,13 @@
 //! Shared harness for the experiment binaries and Criterion benches.
 //!
 //! Every table and figure of the paper has a dedicated binary in
-//! `src/bin/` (see DESIGN.md's experiment index); this library holds the
-//! pieces they share: named topology builders at paper or reduced scale,
-//! a tiny CLI-flag parser, and table-formatting helpers.
+//! `src/bin/` (see the README's experiment binary reference); this
+//! library holds the pieces they share: named topology builders at
+//! paper or reduced scale, a tiny CLI-flag parser, and
+//! table-formatting helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use losstomo_core::ExperimentConfig;
 use losstomo_topology::gen::{

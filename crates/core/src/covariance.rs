@@ -48,6 +48,21 @@ impl CenteredMeasurements {
 
     /// Centres pre-extracted log-rate rows (one row per snapshot).
     pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Self::from_row_refs(&refs)
+    }
+
+    /// Centres borrowed log-rate rows (one slice per snapshot, in
+    /// chronological order).
+    ///
+    /// This is the core constructor; [`CenteredMeasurements::from_rows`]
+    /// delegates to it. The streaming accumulator
+    /// ([`crate::streaming::StreamingCovariance`]) calls it over its
+    /// window ring buffer, which is what makes streaming refreshes
+    /// bit-identical to a batch recompute: the means accumulate over
+    /// rows in the same order and the deviations are produced by the
+    /// same subtraction.
+    pub fn from_row_refs(rows: &[&[f64]]) -> Self {
         let m = rows.len();
         assert!(m >= 2, "need at least 2 snapshots, got {m}");
         let n_paths = rows[0].len();
@@ -56,7 +71,7 @@ impl CenteredMeasurements {
             "snapshots disagree on the number of paths"
         );
         let mut means = vec![0.0; n_paths];
-        for row in &rows {
+        for row in rows {
             for (mean, y) in means.iter_mut().zip(row.iter()) {
                 *mean += y;
             }

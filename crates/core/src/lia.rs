@@ -20,7 +20,7 @@
 //! already-kept higher-variance set is provided for the ablation study
 //! (it never discards an identifiable congested link).
 
-use losstomo_linalg::{lstsq, LinalgError, LstsqBackend, PivotedQr};
+use losstomo_linalg::{lstsq, LinalgError, LstsqBackend, Matrix, PivotedQr};
 use losstomo_topology::ReducedTopology;
 use serde::{Deserialize, Serialize};
 
@@ -104,45 +104,42 @@ pub fn select_full_rank_columns(
         variances.len(),
         nc
     );
-    // Variance order, ascending; ties broken by link index for
-    // reproducibility.
-    let mut order: Vec<usize> = (0..nc).collect();
+    select_full_rank_columns_ordered(red, &variance_order(variances), strategy)
+}
+
+/// The ascending variance order Phase 2 eliminates in: link indices
+/// sorted by increasing variance, ties broken by link index for
+/// reproducibility.
+///
+/// The kept column set is a pure function of this permutation (not of
+/// the variance *values*), which is what lets the streaming estimator
+/// skip the rank bisection entirely whenever a refresh leaves the order
+/// unchanged.
+pub fn variance_order(variances: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..variances.len()).collect();
     order.sort_by(|&a, &b| variances[a].total_cmp(&variances[b]).then(a.cmp(&b)));
+    order
+}
+
+/// [`select_full_rank_columns`] with a precomputed [`variance_order`]
+/// permutation (`order.len()` must equal `red.num_links()`).
+pub fn select_full_rank_columns_ordered(
+    red: &ReducedTopology,
+    order: &[usize],
+    strategy: EliminationStrategy,
+) -> Vec<usize> {
+    let nc = red.num_links();
+    assert_eq!(
+        order.len(),
+        nc,
+        "got a {}-element variance order for {} links",
+        order.len(),
+        nc
+    );
     let dense = red.matrix.to_dense();
 
     match strategy {
-        EliminationStrategy::PaperOrder => {
-            // Feasibility is monotone in the cut: if dropping k smallest
-            // leaves an independent set, dropping k+1 does too.
-            let full_rank_after_drop = |k: usize| -> bool {
-                let kept: Vec<usize> = order[k..].to_vec();
-                if kept.is_empty() {
-                    return true;
-                }
-                if kept.len() > red.num_paths() {
-                    return false;
-                }
-                let sub = dense.select_columns(&kept);
-                losstomo_linalg::rank(&sub) == kept.len()
-            };
-            let (mut lo, mut hi) = (0usize, nc); // hi always feasible
-            if full_rank_after_drop(0) {
-                hi = 0;
-            } else {
-                // Invariant: lo infeasible, hi feasible.
-                while hi - lo > 1 {
-                    let mid = lo + (hi - lo) / 2;
-                    if full_rank_after_drop(mid) {
-                        hi = mid;
-                    } else {
-                        lo = mid;
-                    }
-                }
-            }
-            let mut kept: Vec<usize> = order[hi..].to_vec();
-            kept.sort_unstable();
-            kept
-        }
+        EliminationStrategy::PaperOrder => select_paper_order_hinted(red, &dense, order, None).0,
         EliminationStrategy::GreedyMatroid => {
             // Incremental Gram–Schmidt over columns in descending
             // variance order.
@@ -175,6 +172,83 @@ pub fn select_full_rank_columns(
     }
 }
 
+/// The paper-order column selection with an optional warm-start cut,
+/// returning `(kept columns ascending, cut position)`.
+///
+/// The cut `h*` is the minimal number of smallest-variance columns to
+/// drop so that the remaining set is independent. Feasibility is
+/// monotone in the cut ("subset of an independent set is independent"),
+/// so `h*` is the unique `h` with `feasible(h)` and (`h = 0` or
+/// `¬feasible(h − 1)`) — a caller that remembers the previous refresh's
+/// cut can re-certify it with **two** rank checks instead of the
+/// `O(log n_c)` bisection, with identical output (the streaming
+/// estimator does exactly this; a stale hint falls back to the full
+/// bisection). `dense` must be `red.matrix.to_dense()`, passed in so
+/// repeated callers materialise it once.
+pub fn select_paper_order_hinted(
+    red: &ReducedTopology,
+    dense: &Matrix,
+    order: &[usize],
+    hint: Option<usize>,
+) -> (Vec<usize>, usize) {
+    let nc = red.num_links();
+    assert_eq!(
+        order.len(),
+        nc,
+        "got a {}-element variance order for {} links",
+        order.len(),
+        nc
+    );
+    assert_eq!(
+        (dense.rows(), dense.cols()),
+        (red.num_paths(), nc),
+        "dense matrix is {}x{}, expected the {}x{} routing matrix",
+        dense.rows(),
+        dense.cols(),
+        red.num_paths(),
+        nc
+    );
+    let full_rank_after_drop = |k: usize| -> bool {
+        let kept: Vec<usize> = order[k..].to_vec();
+        if kept.is_empty() {
+            return true;
+        }
+        if kept.len() > red.num_paths() {
+            return false;
+        }
+        let sub = dense.select_columns(&kept);
+        losstomo_linalg::rank(&sub) == kept.len()
+    };
+    let cut = 'cut: {
+        // Warm start: certify the hinted cut as still minimal.
+        if let Some(h) = hint {
+            if h <= nc && full_rank_after_drop(h) && (h == 0 || !full_rank_after_drop(h - 1)) {
+                break 'cut h;
+            }
+        }
+        // Feasibility is monotone in the cut: if dropping k smallest
+        // leaves an independent set, dropping k+1 does too.
+        let (mut lo, mut hi) = (0usize, nc); // hi always feasible
+        if full_rank_after_drop(0) {
+            hi = 0;
+        } else {
+            // Invariant: lo infeasible, hi feasible.
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                if full_rank_after_drop(mid) {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+        }
+        hi
+    };
+    let mut kept: Vec<usize> = order[cut..].to_vec();
+    kept.sort_unstable();
+    (kept, cut)
+}
+
 /// Runs Phase 2: solves the reduced first-moment system for one
 /// snapshot's log measurements `y` and returns per-link rates.
 pub fn infer_link_rates(
@@ -198,6 +272,14 @@ pub fn infer_link_rates(
         LstsqBackend::HouseholderQr => PivotedQr::new(&rstar)?.solve_least_squares(y)?,
         LstsqBackend::NormalEquations => lstsq::solve_normal_equations(&rstar, y)?,
     };
+    Ok(rates_from_solution(nc, &kept, &xstar))
+}
+
+/// Expands a reduced-system solution `X*` (log rates of the kept
+/// columns) into per-link transmission rates — the Phase-2
+/// post-processing shared by [`infer_link_rates`] and the streaming
+/// estimator.
+pub(crate) fn rates_from_solution(nc: usize, kept: &[usize], xstar: &[f64]) -> LinkRateEstimate {
     let mut transmission = vec![1.0; nc];
     let mut kept_mask = vec![false; nc];
     for (pos, &k) in kept.iter().enumerate() {
@@ -206,11 +288,11 @@ pub fn infer_link_rates(
         transmission[k] = xstar[pos].exp().clamp(0.0, 1.0);
         kept_mask[k] = true;
     }
-    Ok(LinkRateEstimate {
+    LinkRateEstimate {
         transmission,
         kept: kept_mask,
         kept_count: kept.len(),
-    })
+    }
 }
 
 #[cfg(test)]

@@ -34,6 +34,8 @@
 //! * [`augmented`] — the matrix `A` of Definition 1 + Theorem-1 check
 //! * [`variance`] — Phase 1 (GMM least-squares estimator)
 //! * [`lia`] — Phase 2 column elimination + reduced solve
+//! * [`streaming`] — incremental covariance + online two-phase
+//!   estimation over snapshot streams
 //! * [`scfs`] — the SCFS single-snapshot baseline of Figure 5
 //! * [`baselines`] — naive first-moment inversion
 //! * [`metrics`] — DR/FPR, error factor `f_δ`, CDFs, summaries
@@ -57,6 +59,7 @@ pub mod lia;
 pub mod metrics;
 pub mod parallel;
 pub mod scfs;
+pub mod streaming;
 pub mod validate;
 pub mod variance;
 
@@ -71,5 +74,11 @@ pub use lia::{
 };
 pub use metrics::{location_accuracy, LocationAccuracy, RateErrors, Summary};
 pub use scfs::{scfs_diagnose, ScfsConfig};
+pub use streaming::{
+    FactorRefresh, OnlineConfig, OnlineEstimator, OnlineUpdate, StreamingCovariance, WindowMode,
+};
 pub use validate::{cross_validate, CrossValidationConfig, CrossValidationResult};
-pub use variance::{estimate_variances, VarianceConfig, VarianceEstimate};
+pub use variance::{
+    estimate_variances, estimate_variances_cached, estimate_variances_from_sigmas, GramCache,
+    VarianceConfig, VarianceEstimate,
+};

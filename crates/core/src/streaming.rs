@@ -1,0 +1,1048 @@
+//! Streaming loss inference: incremental covariance tracking and an
+//! online two-phase estimator.
+//!
+//! The paper's estimator is batch — collect `m` snapshots, form the
+//! sample covariance (eq. 7), solve `Σ* = A v` — but a production
+//! monitor sees snapshots arrive as a stream and wants congested-link
+//! sets that update per snapshot, not per recomputation. This module
+//! provides the two pieces:
+//!
+//! * [`StreamingCovariance`] ingests one snapshot of log measurements at
+//!   a time and maintains the covariances of the augmented path pairs
+//!   two ways at once: **Welford-style rank-1 running co-moments**
+//!   (`O(n_p + r)` per ingest, available at any instant, optionally
+//!   under a sliding or exponentially-forgetting window) and an **exact
+//!   replay** over the retained window that is bit-identical to the
+//!   batch [`CenteredMeasurements::pair_covariances`] sweep — same
+//!   additions in the same order — so a streaming refresh can reproduce
+//!   a batch recompute exactly.
+//! * [`OnlineEstimator`] keeps the full Phase-1/Phase-2 pipeline warm
+//!   across refreshes: the Phase-1 Gram matrix is patched incrementally
+//!   through a [`GramCache`] (integer co-occurrence counts, so patched
+//!   and from-scratch assemblies are exactly equal), the Cholesky factor
+//!   can be amended with the Givens rank-1 updates of
+//!   [`losstomo_linalg::givens`] instead of refactored
+//!   ([`FactorRefresh::GivensUpdate`]), and the Phase-2 column selection
+//!   and pivoted-QR factorisation are memoized on the variance *order*,
+//!   which rarely changes between consecutive snapshots. Refresh cadence
+//!   is configurable, and every ingest reports congested-set changes
+//!   ([`OnlineUpdate::appeared`] / [`OnlineUpdate::cleared`]).
+//!
+//! ## Exactness contract
+//!
+//! With the default configuration ([`WindowMode::Unbounded`],
+//! [`FactorRefresh::Exact`]), ingesting `m` snapshots and refreshing
+//! produces **bit-for-bit** the Phase-1 variances and Phase-2 link rates
+//! of the batch pipeline ([`estimate_variances`][crate::estimate_variances]
+//! followed by [`infer_link_rates`][crate::infer_link_rates]) on the same
+//! `m` snapshots: the replayed covariances are the same bits, the cached
+//! Gram counts are the same integers, and the memoized Phase-2 factor is
+//! built from the same reduced matrix. A sliding window is equally exact
+//! over its window. [`FactorRefresh::GivensUpdate`] and
+//! [`WindowMode::Exponential`] trade the last bits for lower refresh
+//! cost and are tolerance-tested instead.
+//!
+//! ## Memory and refresh cost
+//!
+//! The exactness contract requires replaying the retained window, so
+//! [`WindowMode::Unbounded`] (the default, matching the paper's
+//! grow-forever batch regime) buffers every ingested row and its
+//! refresh cost grows with the history length. A monitor that runs
+//! indefinitely should bound its state with [`WindowMode::Sliding`]
+//! (exact over the window, `O(w)` rows retained) or
+//! [`WindowMode::Exponential`] (`O(1)` state, no row buffer at all),
+//! and/or lengthen [`OnlineConfig::refresh_every`].
+
+use crate::augmented::AugmentedSystem;
+use crate::covariance::CenteredMeasurements;
+use crate::lia::{self, EliminationStrategy, LiaConfig, LinkRateEstimate};
+use crate::variance::{
+    estimate_variances_cached, estimate_variances_from_sigmas, GramCache, VarianceConfig,
+    VarianceEstimate,
+};
+use losstomo_linalg::{givens, lstsq, triangular, Cholesky, LinalgError, LstsqBackend, Matrix, PivotedQr};
+use losstomo_netsim::Snapshot;
+use losstomo_topology::ReducedTopology;
+use std::collections::VecDeque;
+
+/// How much history the streaming accumulator retains.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum WindowMode {
+    /// Keep every ingested snapshot (the batch regime, grown online).
+    /// Memory and exact-refresh cost grow with the stream — prefer a
+    /// bounded window for monitors that run indefinitely.
+    #[default]
+    Unbounded,
+    /// Keep only the most recent `w ≥ 2` snapshots; older ones are
+    /// evicted with a reverse-Welford downdate.
+    Sliding(usize),
+    /// Exponential forgetting with smoothing factor `0 < α < 1`: the
+    /// running mean and co-moments are EWMA estimates
+    /// (`mean += α·(y − mean)`, `C = (1−α)·(C + α·δδᵀ)`). No snapshot
+    /// buffer is kept, so exact batch replay is unavailable in this
+    /// mode.
+    Exponential(f64),
+}
+
+/// Streaming accumulator for the covariances of a fixed pair set.
+///
+/// Feed it one row of log measurements per snapshot with
+/// [`StreamingCovariance::ingest`]; read back either the cheap Welford
+/// running estimates ([`StreamingCovariance::covariances`]) or the
+/// batch-bit-identical replay
+/// ([`StreamingCovariance::exact_covariances`]). The pair set is
+/// typically [`AugmentedSystem::pair_indices`] — every `Σ̂_{ii'}`
+/// Phase 1 needs.
+#[derive(Debug, Clone)]
+pub struct StreamingCovariance {
+    n_paths: usize,
+    pairs: Vec<(usize, usize)>,
+    mode: WindowMode,
+    /// Retained rows, oldest first (empty in exponential mode).
+    rows: VecDeque<Vec<f64>>,
+    /// Rows currently contributing to the running moments.
+    count: usize,
+    total_ingested: u64,
+    /// Running (Welford or EWMA) per-path means.
+    mean: Vec<f64>,
+    /// Running co-moments, one per pair: `Σ (y_i − μ_i)(y_j − μ_j)` in
+    /// Welford form, or the EWMA covariance itself in exponential mode.
+    comoment: Vec<f64>,
+    /// Scratch: per-path deviations from the pre-update mean.
+    delta_old: Vec<f64>,
+    /// Scratch: per-path deviations from the post-update mean.
+    delta_new: Vec<f64>,
+}
+
+impl StreamingCovariance {
+    /// Creates an accumulator for `n_paths` paths tracking `pairs`.
+    ///
+    /// # Panics
+    /// Panics on an empty path set, a sliding window shorter than 2
+    /// (the sample covariance is undefined), a smoothing factor outside
+    /// `(0, 1)`, or a pair index out of range.
+    pub fn new(n_paths: usize, pairs: Vec<(usize, usize)>, mode: WindowMode) -> Self {
+        assert!(n_paths > 0, "need at least one path");
+        match mode {
+            WindowMode::Sliding(w) => {
+                assert!(w >= 2, "sliding window must hold at least 2 snapshots, got {w}")
+            }
+            WindowMode::Exponential(alpha) => {
+                assert!(
+                    alpha > 0.0 && alpha < 1.0,
+                    "smoothing factor must lie in (0, 1), got {alpha}"
+                )
+            }
+            WindowMode::Unbounded => {}
+        }
+        assert!(
+            pairs.iter().all(|&(i, j)| i < n_paths && j < n_paths),
+            "pair index out of range for {n_paths} paths"
+        );
+        let n_pairs = pairs.len();
+        StreamingCovariance {
+            n_paths,
+            pairs,
+            mode,
+            rows: VecDeque::new(),
+            count: 0,
+            total_ingested: 0,
+            mean: vec![0.0; n_paths],
+            comoment: vec![0.0; n_pairs],
+            delta_old: vec![0.0; n_paths],
+            delta_new: vec![0.0; n_paths],
+        }
+    }
+
+    /// Number of paths per snapshot row.
+    pub fn paths(&self) -> usize {
+        self.n_paths
+    }
+
+    /// The tracked path pairs, in result order.
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// Snapshots currently contributing (window occupancy).
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// `true` until the first ingest.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Total snapshots ever ingested (including evicted ones).
+    pub fn total_ingested(&self) -> u64 {
+        self.total_ingested
+    }
+
+    /// Ingests one snapshot's log measurements (`Y_i = log φ̂_i`, one
+    /// entry per path): `O(n_p + r)` for `r` tracked pairs, plus an
+    /// eviction of the oldest row when a sliding window overflows.
+    pub fn ingest(&mut self, row: &[f64]) {
+        assert_eq!(
+            row.len(),
+            self.n_paths,
+            "snapshot covers {} paths, accumulator tracks {}",
+            row.len(),
+            self.n_paths
+        );
+        self.total_ingested += 1;
+        match self.mode {
+            WindowMode::Exponential(alpha) => self.ingest_ewma(row, alpha),
+            WindowMode::Unbounded => {
+                self.rows.push_back(row.to_vec());
+                self.welford_add(row);
+            }
+            WindowMode::Sliding(w) => {
+                self.rows.push_back(row.to_vec());
+                self.welford_add(row);
+                if self.rows.len() > w {
+                    let old = self.rows.pop_front().expect("window overflowed");
+                    self.welford_remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Welford forward update: `C += (y_i − μ_i^{old})(y_j − μ_j^{new})`.
+    fn welford_add(&mut self, row: &[f64]) {
+        self.count += 1;
+        let n = self.count as f64;
+        for (((&y, mean), d_old), d_new) in row
+            .iter()
+            .zip(self.mean.iter_mut())
+            .zip(self.delta_old.iter_mut())
+            .zip(self.delta_new.iter_mut())
+        {
+            let d = y - *mean;
+            *d_old = d;
+            *mean += d / n;
+            *d_new = y - *mean;
+        }
+        for (c, &(i, j)) in self.comoment.iter_mut().zip(self.pairs.iter()) {
+            *c += self.delta_old[i] * self.delta_new[j];
+        }
+    }
+
+    /// Reverse-Welford downdate: removes a row by inverting
+    /// [`StreamingCovariance::welford_add`] exactly (in exact
+    /// arithmetic; floating point reintroduces rounding, which is why
+    /// exact queries replay the window instead).
+    fn welford_remove(&mut self, row: &[f64]) {
+        self.count -= 1;
+        if self.count == 0 {
+            self.mean.fill(0.0);
+            self.comoment.fill(0.0);
+            return;
+        }
+        let n = self.count as f64;
+        for (((&y, mean), d_old), d_new) in row
+            .iter()
+            .zip(self.mean.iter_mut())
+            .zip(self.delta_old.iter_mut())
+            .zip(self.delta_new.iter_mut())
+        {
+            // μ^{old} = μ^{new} + (μ^{new} − y) / n, inverting the add.
+            *d_old = y - *mean; // y − μ^{post-add}
+            *mean += (*mean - y) / n;
+            *d_new = y - *mean; // y − μ^{pre-add}
+        }
+        for (c, &(i, j)) in self.comoment.iter_mut().zip(self.pairs.iter()) {
+            *c -= self.delta_new[i] * self.delta_old[j];
+        }
+    }
+
+    /// EWMA update: `μ += α δ`, `C = (1−α)(C + α δ_i δ_j)`.
+    fn ingest_ewma(&mut self, row: &[f64], alpha: f64) {
+        if self.count == 0 {
+            self.count = 1;
+            self.mean.copy_from_slice(row);
+            return;
+        }
+        self.count += 1;
+        for ((&y, mean), d_old) in row
+            .iter()
+            .zip(self.mean.iter_mut())
+            .zip(self.delta_old.iter_mut())
+        {
+            *d_old = y - *mean;
+            *mean += alpha * *d_old;
+        }
+        for (c, &(i, j)) in self.comoment.iter_mut().zip(self.pairs.iter()) {
+            *c = (1.0 - alpha) * (*c + alpha * self.delta_old[i] * self.delta_old[j]);
+        }
+    }
+
+    /// The running covariance estimates, one per tracked pair:
+    /// co-moments over `n − 1` in Welford mode, the EWMA covariance in
+    /// exponential mode. `O(r)` — no pass over the window.
+    ///
+    /// # Panics
+    /// Panics with fewer than two ingested snapshots (the sample
+    /// covariance is undefined).
+    pub fn covariances(&self) -> Vec<f64> {
+        assert!(
+            self.count >= 2,
+            "need at least 2 snapshots for covariances, have {}",
+            self.count
+        );
+        match self.mode {
+            WindowMode::Exponential(_) => self.comoment.clone(),
+            _ => {
+                let denom = (self.count - 1) as f64;
+                self.comoment.iter().map(|c| c / denom).collect()
+            }
+        }
+    }
+
+    /// The running mean of each path's log measurements.
+    pub fn means(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Centres the retained window with the exact batch arithmetic.
+    ///
+    /// The result is indistinguishable from
+    /// `CenteredMeasurements::from_rows(window_rows)`: means accumulate
+    /// over rows oldest-first (the ingestion order), deviations are the
+    /// same subtractions. Unavailable under exponential forgetting
+    /// (nothing is retained).
+    ///
+    /// # Panics
+    /// Panics in [`WindowMode::Exponential`] or with fewer than two
+    /// retained snapshots.
+    pub fn centered(&self) -> CenteredMeasurements {
+        assert!(
+            !matches!(self.mode, WindowMode::Exponential(_)),
+            "exact replay is unavailable under exponential forgetting"
+        );
+        let refs: Vec<&[f64]> = self.rows.iter().map(|r| r.as_slice()).collect();
+        CenteredMeasurements::from_row_refs(&refs)
+    }
+
+    /// The exact pair covariances of the retained window — bit-identical
+    /// to the batch [`CenteredMeasurements::pair_covariances`] over the
+    /// same rows (same panics as [`StreamingCovariance::centered`]).
+    pub fn exact_covariances(&self) -> Vec<f64> {
+        self.centered().pair_covariances(&self.pairs)
+    }
+}
+
+/// How [`OnlineEstimator`] maintains the Phase-1 normal-equations
+/// factorisation across refreshes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FactorRefresh {
+    /// Refactor the (incrementally patched) Gram matrix from scratch
+    /// each refresh — bit-identical to batch Phase 1. Default.
+    #[default]
+    Exact,
+    /// Amend the previous upper-triangular factor with one Givens
+    /// rank-1 [`update`][givens::rank_one_update] /
+    /// [`downdate`][givens::rank_one_downdate] per covariance row that
+    /// moved between the kept and dropped sets: `O(Δ · n_c²)` instead
+    /// of `O(n_c³)` when few rows change sign. Numerically equivalent
+    /// (not bit-identical); falls back to a full refactor when a
+    /// downdate would lose positive definiteness.
+    GivensUpdate,
+}
+
+/// Configuration of the online estimator.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineConfig {
+    /// History retention for the covariance accumulator.
+    pub window: WindowMode,
+    /// Run a Phase-1 + Phase-2-structure refresh every `k ≥ 1` ingests.
+    /// Between refreshes, Phase 2 reuses the cached column set and
+    /// factorisation with each new snapshot's measurements (exact).
+    pub refresh_every: usize,
+    /// Phase-1 settings (the cached Gram path requires the default
+    /// [`LstsqBackend::NormalEquations`] backend).
+    pub variance: VarianceConfig,
+    /// Phase-2 settings.
+    pub lia: LiaConfig,
+    /// Factorisation maintenance policy.
+    pub factor: FactorRefresh,
+    /// Loss-rate threshold above which a link counts as congested for
+    /// change detection (the paper's `t_l`).
+    pub congestion_threshold: f64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            window: WindowMode::Unbounded,
+            refresh_every: 1,
+            variance: VarianceConfig::default(),
+            lia: LiaConfig::default(),
+            factor: FactorRefresh::Exact,
+            congestion_threshold: losstomo_netsim::DEFAULT_LOSS_THRESHOLD,
+        }
+    }
+}
+
+/// What one [`OnlineEstimator::ingest`] produced.
+#[derive(Debug, Clone)]
+pub struct OnlineUpdate {
+    /// Whether this ingest triggered a Phase-1/Phase-2-structure
+    /// refresh (per the configured cadence).
+    pub refreshed: bool,
+    /// Per-link rate estimate for the ingested snapshot (`None` while
+    /// the estimator is still warming up).
+    pub estimate: Option<LinkRateEstimate>,
+    /// Links currently diagnosed congested (ascending).
+    pub congested: Vec<usize>,
+    /// Links that entered the congested set with this snapshot.
+    pub appeared: Vec<usize>,
+    /// Links that left the congested set with this snapshot.
+    pub cleared: Vec<usize>,
+}
+
+/// The streaming two-phase estimator: ingest snapshots one at a time,
+/// read back per-link loss rates and congested-set changes.
+///
+/// See the [module docs](self) for the incremental machinery and the
+/// exactness contract. Typical use:
+///
+/// ```text
+/// let mut est = OnlineEstimator::new(&red, OnlineConfig::default());
+/// for snapshot in simulate_stream(&red, scenario, &probe_cfg, rng) {
+///     let update = est.ingest(&snapshot)?;
+///     for k in update.appeared { alert_congested(k); }
+/// }
+/// ```
+#[derive(Debug)]
+pub struct OnlineEstimator {
+    cfg: OnlineConfig,
+    red: ReducedTopology,
+    /// Dense routing matrix, materialised once for Phase-2 column
+    /// selection and `R*` assembly.
+    dense_r: Matrix,
+    aug: AugmentedSystem,
+    cov: StreamingCovariance,
+    gram: GramCache,
+    /// Upper factor `R` with `RᵀR = AᵀA` (Givens mode only).
+    factor: Option<Matrix>,
+    variances: Option<VarianceEstimate>,
+    /// Memoized Phase-2 structure: the variance order of the last
+    /// refresh, its elimination cut, its kept column set, `R*`, and its
+    /// pivoted QR.
+    order: Vec<usize>,
+    cut: Option<usize>,
+    kept: Vec<usize>,
+    rstar: Option<Matrix>,
+    qr: Option<PivotedQr>,
+    congested: Vec<usize>,
+    since_refresh: usize,
+    refreshes: u64,
+    warmup_error: Option<LinalgError>,
+}
+
+impl OnlineEstimator {
+    /// Builds the estimator for a reduced topology: constructs the
+    /// augmented system, its pair index, and the streaming accumulator.
+    pub fn new(red: &ReducedTopology, cfg: OnlineConfig) -> Self {
+        assert!(cfg.refresh_every >= 1, "refresh cadence must be ≥ 1");
+        let aug = AugmentedSystem::build(red);
+        let cov = StreamingCovariance::new(red.num_paths(), aug.pair_indices(), cfg.window);
+        OnlineEstimator {
+            cfg,
+            red: red.clone(),
+            dense_r: red.matrix.to_dense(),
+            aug,
+            cov,
+            gram: GramCache::new(),
+            factor: None,
+            variances: None,
+            order: Vec::new(),
+            cut: None,
+            kept: Vec::new(),
+            rstar: None,
+            qr: None,
+            congested: Vec::new(),
+            since_refresh: 0,
+            refreshes: 0,
+            warmup_error: None,
+        }
+    }
+
+    /// The augmented system the estimator tracks covariances for.
+    pub fn augmented(&self) -> &AugmentedSystem {
+        &self.aug
+    }
+
+    /// The streaming covariance accumulator (window occupancy, running
+    /// means, Welford estimates).
+    pub fn covariance(&self) -> &StreamingCovariance {
+        &self.cov
+    }
+
+    /// The latest Phase-1 estimate, if any refresh has succeeded.
+    pub fn variances(&self) -> Option<&VarianceEstimate> {
+        self.variances.as_ref()
+    }
+
+    /// Links currently diagnosed congested (ascending).
+    pub fn congested_links(&self) -> &[usize] {
+        &self.congested
+    }
+
+    /// Columns currently kept in `R*` (ascending; empty before the
+    /// first successful refresh).
+    pub fn kept_columns(&self) -> &[usize] {
+        &self.kept
+    }
+
+    /// Successful refreshes so far.
+    pub fn refresh_count(&self) -> u64 {
+        self.refreshes
+    }
+
+    /// The error of the most recent failed warm-up refresh, if the
+    /// estimator has not produced variances yet (early on, dropping
+    /// negative covariance rows can leave the moment system
+    /// under-determined; the estimator keeps ingesting until it becomes
+    /// solvable).
+    pub fn warmup_error(&self) -> Option<&LinalgError> {
+        self.warmup_error.as_ref()
+    }
+
+    /// Ingests one simulated/measured snapshot: extracts the log rates
+    /// once, updates the covariance accumulator, refreshes per the
+    /// cadence, and scores the snapshot against the current model.
+    pub fn ingest(&mut self, snapshot: &Snapshot) -> Result<OnlineUpdate, LinalgError> {
+        self.ingest_log_rates(&snapshot.log_rates())
+    }
+
+    /// [`OnlineEstimator::ingest`] for pre-extracted log measurements
+    /// `Y_i = log φ̂_i` (one entry per path).
+    pub fn ingest_log_rates(&mut self, y: &[f64]) -> Result<OnlineUpdate, LinalgError> {
+        assert_eq!(
+            y.len(),
+            self.red.num_paths(),
+            "snapshot covers {} paths, topology has {}",
+            y.len(),
+            self.red.num_paths()
+        );
+        self.cov.ingest(y);
+        self.since_refresh += 1;
+        let due = self.variances.is_none() || self.since_refresh >= self.cfg.refresh_every;
+        let mut refreshed = false;
+        if due && self.cov.len() >= 2 {
+            match self.refresh() {
+                Ok(()) => refreshed = true,
+                // While warming up, an unsolvable moment system just
+                // means "not enough signal yet" — keep streaming. After
+                // the first success, failures are real and surface.
+                Err(e) if self.variances.is_none() => self.warmup_error = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        let estimate = if self.variances.is_some() {
+            Some(self.estimate(y)?)
+        } else {
+            None
+        };
+        let congested = estimate
+            .as_ref()
+            .map(|e| e.congested_links(self.cfg.congestion_threshold))
+            .unwrap_or_default();
+        let (appeared, cleared) = diff_sorted(&self.congested, &congested);
+        self.congested.clone_from(&congested);
+        Ok(OnlineUpdate {
+            refreshed,
+            estimate,
+            congested,
+            appeared,
+            cleared,
+        })
+    }
+
+    /// Runs a Phase-1 refresh and re-memoizes the Phase-2 structure.
+    /// Called automatically per the cadence; public so callers on a
+    /// slow cadence can force a refresh (e.g. before reading
+    /// [`OnlineEstimator::variances`] at a reporting boundary).
+    pub fn refresh(&mut self) -> Result<(), LinalgError> {
+        let sigmas = match self.cfg.window {
+            WindowMode::Exponential(_) => self.cov.covariances(),
+            _ => self.cov.exact_covariances(),
+        };
+        let est = match (self.cfg.variance.backend, self.cfg.factor) {
+            (LstsqBackend::NormalEquations, FactorRefresh::Exact) => estimate_variances_cached(
+                &self.red,
+                &self.aug,
+                &sigmas,
+                &self.cfg.variance,
+                &mut self.gram,
+            )?,
+            (LstsqBackend::NormalEquations, FactorRefresh::GivensUpdate) => {
+                self.refresh_givens(&sigmas)?
+            }
+            // The QR backend has no incremental assembly to cache.
+            (LstsqBackend::HouseholderQr, _) => {
+                estimate_variances_from_sigmas(&self.red, &self.aug, &sigmas, &self.cfg.variance)?
+            }
+        };
+        // Phase-2 structure: the kept set is a pure function of the
+        // variance order, so an unchanged order skips the column
+        // selection entirely; a changed order re-certifies the previous
+        // elimination cut with two rank checks (falling back to the
+        // full bisection only when the cut actually moved); and an
+        // unchanged kept set reuses the factorisation.
+        let order = lia::variance_order(&est.v);
+        if order != self.order || self.rstar.is_none() {
+            let kept = match self.cfg.lia.elimination {
+                EliminationStrategy::PaperOrder => {
+                    let (kept, cut) =
+                        lia::select_paper_order_hinted(&self.red, &self.dense_r, &order, self.cut);
+                    self.cut = Some(cut);
+                    kept
+                }
+                EliminationStrategy::GreedyMatroid => lia::select_full_rank_columns_ordered(
+                    &self.red,
+                    &order,
+                    self.cfg.lia.elimination,
+                ),
+            };
+            if kept != self.kept || self.rstar.is_none() {
+                let rstar = self.dense_r.select_columns(&kept);
+                self.qr = match self.cfg.lia.backend {
+                    LstsqBackend::HouseholderQr => Some(PivotedQr::new(&rstar)?),
+                    LstsqBackend::NormalEquations => None,
+                };
+                self.rstar = Some(rstar);
+                self.kept = kept;
+            }
+            self.order = order;
+        }
+        self.variances = Some(est);
+        self.warmup_error = None;
+        self.since_refresh = 0;
+        self.refreshes += 1;
+        Ok(())
+    }
+
+    /// Phase 1 with the Givens-amended factor: patch the Gram counts,
+    /// rank-1-update/downdate the upper factor for the rows that moved
+    /// between kept and dropped, and solve by two triangular solves.
+    /// Any failure (under-determined kept set, lost positive
+    /// definiteness, singular factor) falls back to the exact cached
+    /// path and discards the factor, which is rebuilt from the patched
+    /// counts at the next refresh.
+    fn refresh_givens(&mut self, sigmas: &[f64]) -> Result<VarianceEstimate, LinalgError> {
+        let nc = self.red.num_links();
+        let cfg = &self.cfg.variance;
+        let new_kept: Vec<bool> = sigmas
+            .iter()
+            .map(|&s| !(cfg.drop_negative_covariances && s < 0.0))
+            .collect();
+        let (added, dropped) = self.gram.sync(&self.aug, nc, &new_kept);
+        let used = new_kept.iter().filter(|&&k| k).count();
+        let dropped_count = self.aug.num_rows() - used;
+        if used < nc {
+            self.factor = None;
+            return estimate_variances_cached(&self.red, &self.aug, sigmas, cfg, &mut self.gram);
+        }
+        // Amend or (re)build the factor.
+        let mut scratch = vec![0.0; nc];
+        if let Some(factor) = self.factor.as_mut() {
+            let mut amended = true;
+            for &r in added.iter().chain(dropped.iter()) {
+                scratch.fill(0.0);
+                for &k in self.aug.row(r) {
+                    scratch[k] = 1.0;
+                }
+                let res = if new_kept[r] {
+                    givens::rank_one_update(factor, &mut scratch)
+                } else {
+                    givens::rank_one_downdate(factor, &mut scratch)
+                };
+                if res.is_err() {
+                    amended = false;
+                    break;
+                }
+            }
+            if !amended {
+                self.factor = None;
+            }
+        }
+        if self.factor.is_none() {
+            let mut gram = Matrix::zeros(nc, nc);
+            crate::variance::counts_to_symmetric(self.gram.counts(), gram.as_mut_slice(), nc);
+            match Cholesky::new(&gram) {
+                Ok(chol) => self.factor = Some(chol.l().transpose()),
+                Err(_) => {
+                    // Mirror the exact path's all-rows fallback.
+                    return estimate_variances_cached(
+                        &self.red, &self.aug, sigmas, cfg, &mut self.gram,
+                    );
+                }
+            }
+        }
+        let mut atb = vec![0.0; nc];
+        for (((_, links), &sigma), &keep) in
+            self.aug.iter().zip(sigmas.iter()).zip(new_kept.iter())
+        {
+            if !keep {
+                continue;
+            }
+            for &ka in links {
+                atb[ka] += sigma;
+            }
+        }
+        let factor = self.factor.as_ref().expect("factor was just built");
+        let solved = triangular::solve_upper_transposed(factor, &atb)
+            .and_then(|z| triangular::solve_upper_triangular(factor, &z));
+        match solved {
+            Ok(v) => Ok(VarianceEstimate {
+                v,
+                dropped_rows: dropped_count,
+                used_rows: used,
+            }),
+            Err(_) => {
+                self.factor = None;
+                estimate_variances_cached(&self.red, &self.aug, sigmas, cfg, &mut self.gram)
+            }
+        }
+    }
+
+    /// Phase 2 for one snapshot's log measurements against the current
+    /// model: reuses the memoized kept set and factorisation, so a
+    /// per-snapshot estimate between refreshes costs one least-squares
+    /// application instead of a rank bisection plus factorisation.
+    pub fn estimate(&self, y: &[f64]) -> Result<LinkRateEstimate, LinalgError> {
+        if self.variances.is_none() {
+            return Err(LinalgError::DimensionMismatch(
+                "no successful Phase-1 refresh yet — ingest more snapshots".to_string(),
+            ));
+        }
+        if y.len() != self.red.num_paths() {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "snapshot has {} paths, topology has {}",
+                y.len(),
+                self.red.num_paths()
+            )));
+        }
+        let rstar = self.rstar.as_ref().expect("kept set built with variances");
+        let xstar = match self.cfg.lia.backend {
+            LstsqBackend::HouseholderQr => self
+                .qr
+                .as_ref()
+                .expect("QR memoized for the Householder backend")
+                .solve_least_squares(y)?,
+            LstsqBackend::NormalEquations => lstsq::solve_normal_equations(rstar, y)?,
+        };
+        Ok(lia::rates_from_solution(
+            self.red.num_links(),
+            &self.kept,
+            &xstar,
+        ))
+    }
+}
+
+/// Set difference of two ascending index lists, as
+/// `(in_new_only, in_old_only)`.
+fn diff_sorted(old: &[usize], new: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let mut appeared = Vec::new();
+    let mut cleared = Vec::new();
+    let (mut a, mut b) = (0, 0);
+    while a < old.len() || b < new.len() {
+        match (old.get(a), new.get(b)) {
+            (Some(&x), Some(&y)) if x == y => {
+                a += 1;
+                b += 1;
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                cleared.push(x);
+                a += 1;
+            }
+            (Some(_), Some(&y)) => {
+                appeared.push(y);
+                b += 1;
+            }
+            (Some(&x), None) => {
+                cleared.push(x);
+                a += 1;
+            }
+            (None, Some(&y)) => {
+                appeared.push(y);
+                b += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    (appeared, cleared)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variance::estimate_variances;
+    use crate::{infer_link_rates, CenteredMeasurements};
+    use losstomo_netsim::{
+        simulate_run, CongestionDynamics, CongestionScenario, MeasurementSet, ProbeConfig,
+    };
+    use losstomo_topology::fixtures;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fig1() -> ReducedTopology {
+        fixtures::reduced(&fixtures::figure1())
+    }
+
+    fn simulate(red: &ReducedTopology, m: usize, seed: u64) -> MeasurementSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scenario = CongestionScenario::draw(
+            red.num_links(),
+            0.3,
+            CongestionDynamics::Fixed,
+            &mut rng,
+        );
+        let cfg = ProbeConfig {
+            probes_per_snapshot: 200,
+            ..ProbeConfig::default()
+        };
+        simulate_run(red, &mut scenario, &cfg, m, &mut rng)
+    }
+
+    fn all_pairs(n: usize) -> Vec<(usize, usize)> {
+        (0..n).flat_map(|i| (i..n).map(move |j| (i, j))).collect()
+    }
+
+    fn synthetic_rows(m: usize, n: usize) -> Vec<Vec<f64>> {
+        (0..m)
+            .map(|l| {
+                (0..n)
+                    .map(|i| (((l * 37 + i * 13 + 5) % 101) as f64) / 10.1 - 5.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_exact_matches_batch_bitwise() {
+        let rows = synthetic_rows(12, 5);
+        let pairs = all_pairs(5);
+        let mut sc = StreamingCovariance::new(5, pairs.clone(), WindowMode::Unbounded);
+        for row in &rows {
+            sc.ingest(row);
+        }
+        let batch = CenteredMeasurements::from_rows(rows).pair_covariances(&pairs);
+        assert_eq!(sc.exact_covariances(), batch);
+        assert_eq!(sc.len(), 12);
+        assert_eq!(sc.total_ingested(), 12);
+    }
+
+    #[test]
+    fn sliding_window_matches_batch_over_window() {
+        let rows = synthetic_rows(20, 4);
+        let pairs = all_pairs(4);
+        let w = 6;
+        let mut sc = StreamingCovariance::new(4, pairs.clone(), WindowMode::Sliding(w));
+        for row in &rows {
+            sc.ingest(row);
+        }
+        assert_eq!(sc.len(), w);
+        let window = rows[rows.len() - w..].to_vec();
+        let batch = CenteredMeasurements::from_rows(window).pair_covariances(&pairs);
+        assert_eq!(sc.exact_covariances(), batch);
+    }
+
+    #[test]
+    fn welford_tracks_batch_within_tolerance() {
+        let rows = synthetic_rows(30, 4);
+        let pairs = all_pairs(4);
+        let mut sc = StreamingCovariance::new(4, pairs.clone(), WindowMode::Unbounded);
+        for row in &rows {
+            sc.ingest(row);
+        }
+        let exact = sc.exact_covariances();
+        for (w, e) in sc.covariances().iter().zip(exact.iter()) {
+            assert!((w - e).abs() < 1e-9, "welford {w} vs exact {e}");
+        }
+    }
+
+    #[test]
+    fn welford_downdate_survives_long_streams() {
+        // After many evictions the running moments must still track the
+        // window's true covariance.
+        let rows = synthetic_rows(200, 3);
+        let pairs = all_pairs(3);
+        let w = 8;
+        let mut sc = StreamingCovariance::new(3, pairs.clone(), WindowMode::Sliding(w));
+        for row in &rows {
+            sc.ingest(row);
+        }
+        let exact = sc.exact_covariances();
+        for (wv, e) in sc.covariances().iter().zip(exact.iter()) {
+            assert!((wv - e).abs() < 1e-6, "welford {wv} drifted from {e}");
+        }
+    }
+
+    #[test]
+    fn ewma_mode_estimates_covariance_scale() {
+        // Stationary noise: EWMA covariance should land near the true
+        // variance for the diagonal pair, with no window retained.
+        let rows = synthetic_rows(400, 2);
+        let mut sc =
+            StreamingCovariance::new(2, vec![(0, 0), (0, 1)], WindowMode::Exponential(0.05));
+        for row in &rows {
+            sc.ingest(row);
+        }
+        assert!(sc.rows.is_empty());
+        let est = sc.covariances();
+        let batch = CenteredMeasurements::from_rows(rows);
+        assert!(
+            (est[0] - batch.var(0)).abs() / batch.var(0) < 0.5,
+            "EWMA {} vs batch {}",
+            est[0],
+            batch.var(0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exact replay")]
+    fn ewma_mode_has_no_exact_replay() {
+        let mut sc = StreamingCovariance::new(2, vec![(0, 1)], WindowMode::Exponential(0.1));
+        sc.ingest(&[1.0, 2.0]);
+        sc.ingest(&[2.0, 1.0]);
+        let _ = sc.exact_covariances();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 snapshots")]
+    fn covariances_need_two_snapshots() {
+        let mut sc = StreamingCovariance::new(2, vec![(0, 1)], WindowMode::Unbounded);
+        sc.ingest(&[1.0, 2.0]);
+        let _ = sc.covariances();
+    }
+
+    #[test]
+    fn online_estimator_matches_batch_pipeline_bitwise() {
+        let red = fig1();
+        let m = 25;
+        let ms = simulate(&red, m + 1, 42);
+        // Batch reference.
+        let train = MeasurementSet {
+            snapshots: ms.snapshots[..m].to_vec(),
+        };
+        let aug = AugmentedSystem::build(&red);
+        let centered = CenteredMeasurements::new(&train);
+        let batch_v =
+            estimate_variances(&red, &aug, &centered, &VarianceConfig::default()).unwrap();
+        let y_eval = ms.snapshots[m].log_rates();
+        let batch_p2 =
+            infer_link_rates(&red, &batch_v.v, &y_eval, &LiaConfig::default()).unwrap();
+        // Online, default (exact) configuration.
+        let mut online = OnlineEstimator::new(&red, OnlineConfig::default());
+        for snap in &ms.snapshots[..m] {
+            online.ingest(snap).unwrap();
+        }
+        let online_v = online.variances().expect("warm after m snapshots");
+        assert_eq!(online_v.v, batch_v.v, "Phase-1 variances drifted");
+        assert_eq!(online_v.dropped_rows, batch_v.dropped_rows);
+        assert_eq!(online_v.used_rows, batch_v.used_rows);
+        let online_p2 = online.estimate(&y_eval).unwrap();
+        assert_eq!(online_p2.transmission, batch_p2.transmission);
+        assert_eq!(online_p2.kept, batch_p2.kept);
+        assert_eq!(online_p2.kept_count, batch_p2.kept_count);
+    }
+
+    #[test]
+    fn refresh_cadence_skips_intermediate_refreshes() {
+        let red = fig1();
+        let ms = simulate(&red, 12, 7);
+        let cfg = OnlineConfig {
+            refresh_every: 4,
+            ..OnlineConfig::default()
+        };
+        let mut online = OnlineEstimator::new(&red, cfg);
+        let mut refreshes = 0;
+        for snap in &ms.snapshots {
+            if online.ingest(snap).unwrap().refreshed {
+                refreshes += 1;
+            }
+        }
+        // First refresh as soon as solvable, then every 4th ingest.
+        assert!(refreshes < ms.snapshots.len() as u64 && refreshes >= 2);
+        assert_eq!(refreshes, online.refresh_count());
+    }
+
+    #[test]
+    fn givens_mode_agrees_with_exact_mode() {
+        let red = fig1();
+        let ms = simulate(&red, 30, 11);
+        let exact_cfg = OnlineConfig::default();
+        let givens_cfg = OnlineConfig {
+            factor: FactorRefresh::GivensUpdate,
+            ..OnlineConfig::default()
+        };
+        let mut exact = OnlineEstimator::new(&red, exact_cfg);
+        let mut amended = OnlineEstimator::new(&red, givens_cfg);
+        for snap in &ms.snapshots {
+            exact.ingest(snap).unwrap();
+            amended.ingest(snap).unwrap();
+        }
+        let (ve, va) = (
+            &exact.variances().unwrap().v,
+            &amended.variances().unwrap().v,
+        );
+        for (a, b) in ve.iter().zip(va.iter()) {
+            assert!((a - b).abs() < 1e-8, "exact {ve:?} vs givens {va:?}");
+        }
+    }
+
+    #[test]
+    fn change_detection_reports_transitions() {
+        let (appeared, cleared) = diff_sorted(&[1, 3, 5], &[1, 4, 5, 9]);
+        assert_eq!(appeared, vec![4, 9]);
+        assert_eq!(cleared, vec![3]);
+        let (a2, c2) = diff_sorted(&[], &[2]);
+        assert_eq!(a2, vec![2]);
+        assert!(c2.is_empty());
+    }
+
+    #[test]
+    fn online_update_congested_set_is_consistent() {
+        let red = fig1();
+        let ms = simulate(&red, 20, 3);
+        let mut online = OnlineEstimator::new(&red, OnlineConfig::default());
+        let mut current: Vec<usize> = Vec::new();
+        for snap in &ms.snapshots {
+            let up = online.ingest(snap).unwrap();
+            // appeared/cleared must replay old → new exactly.
+            let mut replayed: Vec<usize> = current
+                .iter()
+                .copied()
+                .filter(|k| !up.cleared.contains(k))
+                .chain(up.appeared.iter().copied())
+                .collect();
+            replayed.sort_unstable();
+            assert_eq!(replayed, up.congested);
+            current = up.congested.clone();
+        }
+        assert_eq!(current, online.congested_links());
+    }
+
+    #[test]
+    fn warmup_is_graceful() {
+        let red = fig1();
+        let ms = simulate(&red, 3, 5);
+        let mut online = OnlineEstimator::new(&red, OnlineConfig::default());
+        let up = online.ingest(&ms.snapshots[0]).unwrap();
+        assert!(!up.refreshed);
+        assert!(up.estimate.is_none());
+        assert!(up.congested.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot covers")]
+    fn wrong_width_snapshot_panics() {
+        let red = fig1();
+        let mut online = OnlineEstimator::new(&red, OnlineConfig::default());
+        let _ = online.ingest_log_rates(&[0.0]);
+    }
+}

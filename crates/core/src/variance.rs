@@ -76,71 +76,183 @@ pub fn estimate_variances(
     // sweep instead of one O(m) strided walk per row — and computed
     // once, shared by the retry below.
     let sigmas = centered.pair_covariances(&aug.pair_indices());
+    estimate_variances_from_sigmas(red, aug, &sigmas, cfg)
+}
+
+/// Phase 1 from precomputed pair covariances (`sigmas[r]` = `Σ̂` of
+/// `aug`'s row-`r` path pair).
+///
+/// This is the solve half of [`estimate_variances`]; the streaming
+/// estimator calls it directly with covariances maintained by
+/// [`crate::streaming::StreamingCovariance`], so batch and online
+/// refreshes share one code path (and therefore produce identical
+/// bits for identical covariances).
+pub fn estimate_variances_from_sigmas(
+    red: &ReducedTopology,
+    aug: &AugmentedSystem,
+    sigmas: &[f64],
+    cfg: &VarianceConfig,
+) -> Result<VarianceEstimate, LinalgError> {
     if cfg.backend == LstsqBackend::NormalEquations {
         // The normal-equations path folds the retry into one assembly:
         // dropped-row contributions are recorded by index and added to
         // the already-built system if the kept rows prove singular.
-        return estimate_normal_equations(red, aug, &sigmas, cfg);
+        let mut cache = GramCache::new();
+        return estimate_variances_cached(red, aug, sigmas, cfg, &mut cache);
     }
-    match estimate_variances_inner(red, aug, &sigmas, cfg) {
+    match estimate_variances_inner(red, aug, sigmas, cfg) {
         Ok(est) => Ok(est),
         Err(_) if cfg.drop_negative_covariances => {
             let retry = VarianceConfig {
                 drop_negative_covariances: false,
                 ..*cfg
             };
-            estimate_variances_inner(red, aug, &sigmas, &retry)
+            estimate_variances_inner(red, aug, sigmas, &retry)
         }
         Err(e) => Err(e),
     }
 }
 
-/// Phase 1 via the normal equations, with the paper's negative-row drop
-/// and its all-rows fallback sharing one assembly.
+/// Reusable normal-equations assembly state for repeated Phase-1 solves
+/// over one augmented system.
 ///
-/// The kept rows' `AᵀA` / `AᵀΣ*` are accumulated exactly as the
-/// dropped-row rule dictates (so the successful first attempt is
-/// bit-identical to the historical two-pass code); the dropped rows are
-/// remembered by index, and only if the kept system turns out singular
-/// are their contributions folded in — a sparse `O(Σ s_r²)` patch
-/// instead of a second full sweep. Gram entries are small integer
-/// counts, so the fold-in order cannot change them.
-fn estimate_normal_equations(
+/// The Gram matrix `AᵀA` of the kept rows depends only on *which* rows
+/// are kept (entries are integer co-occurrence counts), not on the
+/// covariance values themselves. A streaming estimator therefore only
+/// has to patch the counts for rows whose kept/dropped status *changed*
+/// since the previous refresh — `O(Δ · s²)` integer updates instead of
+/// re-assembling all `r` rows — and integer arithmetic makes the
+/// patched counts exactly equal to a from-scratch assembly, which is
+/// what keeps cached refreshes bit-identical to batch Phase 1.
+#[derive(Debug, Clone, Default)]
+pub struct GramCache {
+    /// Upper-triangle co-occurrence counts of the currently-kept rows
+    /// (`counts[ka * nc + kb]` for `ka ≤ kb`).
+    counts: Vec<u32>,
+    /// Per augmented row: is it currently folded into `counts`?
+    kept: Vec<bool>,
+    ready: bool,
+}
+
+impl GramCache {
+    /// Creates an empty cache; the first
+    /// [`estimate_variances_cached`] call fills it.
+    pub fn new() -> Self {
+        GramCache::default()
+    }
+
+    /// Whether the cache has been filled by a previous solve.
+    pub fn is_ready(&self) -> bool {
+        self.ready
+    }
+
+    /// The kept/dropped mask of the last sync (one flag per row).
+    pub fn kept_mask(&self) -> &[bool] {
+        &self.kept
+    }
+
+    /// Raw upper-triangle co-occurrence counts (row-major, `nc × nc`).
+    pub(crate) fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Re-points the cache at `new_kept`, patching the counts for every
+    /// row whose status changed. Returns the changed rows as
+    /// `(newly_kept, newly_dropped)` index lists (ascending).
+    pub(crate) fn sync(
+        &mut self,
+        aug: &AugmentedSystem,
+        nc: usize,
+        new_kept: &[bool],
+    ) -> (Vec<usize>, Vec<usize>) {
+        debug_assert_eq!(new_kept.len(), aug.num_rows());
+        if !self.ready {
+            self.counts = vec![0u32; nc * nc];
+            self.kept = vec![false; aug.num_rows()];
+            self.ready = true;
+        }
+        let mut added = Vec::new();
+        let mut dropped = Vec::new();
+        for (r, (&was, &now)) in self.kept.iter().zip(new_kept.iter()).enumerate() {
+            if was == now {
+                continue;
+            }
+            let links = aug.row(r);
+            if now {
+                added.push(r);
+                for (ai, &ka) in links.iter().enumerate() {
+                    let crow = &mut self.counts[ka * nc..(ka + 1) * nc];
+                    for &kb in &links[ai..] {
+                        crow[kb] += 1;
+                    }
+                }
+            } else {
+                dropped.push(r);
+                for (ai, &ka) in links.iter().enumerate() {
+                    let crow = &mut self.counts[ka * nc..(ka + 1) * nc];
+                    for &kb in &links[ai..] {
+                        crow[kb] -= 1;
+                    }
+                }
+            }
+        }
+        self.kept.copy_from_slice(new_kept);
+        (added, dropped)
+    }
+}
+
+/// Phase 1 via the normal equations with a reusable [`GramCache`]:
+/// the paper's negative-row drop, its all-rows fallback, and
+/// incremental `AᵀA` maintenance sharing one assembly.
+///
+/// With a fresh cache this is the batch normal-equations estimator
+/// (and [`estimate_variances`] routes through it); with a warm cache
+/// only the rows whose kept/dropped status changed since the previous
+/// call touch the Gram counts. Counts are small integers, so the
+/// incremental result is exactly the from-scratch result; `AᵀΣ*` is
+/// rebuilt per call in ascending row order, matching the batch
+/// accumulation order bit for bit.
+pub fn estimate_variances_cached(
     red: &ReducedTopology,
     aug: &AugmentedSystem,
     sigmas: &[f64],
     cfg: &VarianceConfig,
+    cache: &mut GramCache,
 ) -> Result<VarianceEstimate, LinalgError> {
+    assert_eq!(
+        sigmas.len(),
+        aug.num_rows(),
+        "got {} covariances for {} augmented rows",
+        sigmas.len(),
+        aug.num_rows()
+    );
     let nc = red.num_links();
-    // `AᵀA` entries are co-occurrence counts; accumulating them as u32
-    // halves the randomly-accessed footprint of the assembly sweep (the
-    // scattered `(ka, kb)` updates are cache-miss-bound) and converts
-    // exactly to f64 afterwards.
-    let mut counts = vec![0u32; nc * nc];
+    let new_kept: Vec<bool> = sigmas
+        .iter()
+        .map(|&s| !(cfg.drop_negative_covariances && s < 0.0))
+        .collect();
+    cache.sync(aug, nc, &new_kept);
+    let used = new_kept.iter().filter(|&&k| k).count();
+    let dropped_count = aug.num_rows() - used;
+    // `AᵀΣ*` changes with every covariance value, so it is rebuilt per
+    // call: one sweep over the kept rows in ascending order.
     let mut atb = vec![0.0; nc];
-    let mut dropped_idx: Vec<usize> = Vec::new();
-    for (r, ((_, links), &sigma)) in aug.iter().zip(sigmas.iter()).enumerate() {
-        if cfg.drop_negative_covariances && sigma < 0.0 {
-            dropped_idx.push(r);
+    for (((_, links), &sigma), &keep) in aug.iter().zip(sigmas.iter()).zip(new_kept.iter()) {
+        if !keep {
             continue;
         }
-        for (ai, &ka) in links.iter().enumerate() {
+        for &ka in links {
             atb[ka] += sigma;
-            let crow = &mut counts[ka * nc..(ka + 1) * nc];
-            for &kb in &links[ai..] {
-                crow[kb] += 1;
-            }
         }
     }
-    let used = aug.num_rows() - dropped_idx.len();
     let mut gram = Matrix::zeros(nc, nc);
-    counts_to_symmetric(&counts, gram.as_mut_slice(), nc);
+    counts_to_symmetric(cache.counts(), gram.as_mut_slice(), nc);
     let first_error = if used >= nc {
         match lstsq::solve_spd(&gram, &atb) {
             Ok(v) => {
                 return Ok(VarianceEstimate {
                     v,
-                    dropped_rows: dropped_idx.len(),
+                    dropped_rows: dropped_count,
                     used_rows: used,
                 });
             }
@@ -151,24 +263,23 @@ fn estimate_normal_equations(
             "only {used} usable covariance rows for {nc} links"
         ))
     };
-    if dropped_idx.is_empty() {
+    if dropped_count == 0 {
         // Nothing was dropped: the failure is genuine.
         return Err(first_error);
     }
     // Fold the dropped rows back in and solve the all-rows system (the
     // paper's rows are only "redundant" when enough of them survive).
-    for &r in &dropped_idx {
-        let links = aug.row(r);
-        let sigma = sigmas[r];
-        for (ai, &ka) in links.iter().enumerate() {
+    let all = vec![true; aug.num_rows()];
+    cache.sync(aug, nc, &all);
+    for (((_, links), &sigma), &keep) in aug.iter().zip(sigmas.iter()).zip(new_kept.iter()) {
+        if keep {
+            continue;
+        }
+        for &ka in links {
             atb[ka] += sigma;
-            let crow = &mut counts[ka * nc..(ka + 1) * nc];
-            for &kb in &links[ai..] {
-                crow[kb] += 1;
-            }
         }
     }
-    counts_to_symmetric(&counts, gram.as_mut_slice(), nc);
+    counts_to_symmetric(cache.counts(), gram.as_mut_slice(), nc);
     let v = lstsq::solve_spd(&gram, &atb)?;
     Ok(VarianceEstimate {
         v,
@@ -179,7 +290,7 @@ fn estimate_normal_equations(
 
 /// Expands upper-triangle co-occurrence counts into a full symmetric
 /// f64 matrix (exact: the counts are small integers).
-fn counts_to_symmetric(counts: &[u32], gram: &mut [f64], n: usize) {
+pub(crate) fn counts_to_symmetric(counts: &[u32], gram: &mut [f64], n: usize) {
     for j in 0..n {
         for k in j..n {
             let v = counts[j * n + k] as f64;

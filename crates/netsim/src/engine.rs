@@ -220,6 +220,84 @@ pub fn simulate_run<R: Rng>(
     MeasurementSet { snapshots }
 }
 
+/// An iterator of consecutive snapshots over one evolving congestion
+/// scenario — the streaming counterpart of [`simulate_run`].
+///
+/// Snapshots are produced lazily, one `next()` at a time, so the
+/// measurement side never materialises the full measurement matrix:
+/// each snapshot can be ingested (e.g. by
+/// `losstomo_core::streaming::OnlineEstimator`, whose own retention is
+/// governed by its window mode) and dropped. The RNG
+/// stream is identical to [`simulate_run`]'s — taking the first `m`
+/// items of [`simulate_stream`] yields bit-identical snapshots to a
+/// batch run of `m` snapshots from the same seed.
+#[derive(Debug)]
+pub struct SnapshotStream<'a, R: Rng> {
+    red: &'a ReducedTopology,
+    scenario: CongestionScenario,
+    cfg: ProbeConfig,
+    rng: R,
+    produced: usize,
+}
+
+impl<'a, R: Rng> SnapshotStream<'a, R> {
+    /// Number of snapshots produced so far.
+    pub fn produced(&self) -> usize {
+        self.produced
+    }
+
+    /// The current congestion state (after the last produced snapshot).
+    pub fn scenario(&self) -> &CongestionScenario {
+        &self.scenario
+    }
+}
+
+impl<'a, R: Rng> Iterator for SnapshotStream<'a, R> {
+    type Item = Snapshot;
+
+    fn next(&mut self) -> Option<Snapshot> {
+        if self.produced > 0 {
+            self.scenario.advance(&mut self.rng);
+        }
+        self.produced += 1;
+        Some(simulate_snapshot(
+            self.red,
+            &self.scenario,
+            &self.cfg,
+            &mut self.rng,
+        ))
+    }
+}
+
+/// Creates an unbounded snapshot stream over `red`, consuming the
+/// scenario and RNG.
+///
+/// The stream is infinite — bound it with [`Iterator::take`] or drive
+/// it from a monitoring loop. `simulate_stream(...).take(m).collect()`
+/// into a [`MeasurementSet`] is bit-identical to
+/// [`simulate_run`] with `m` snapshots from the same starting state.
+pub fn simulate_stream<'a, R: Rng>(
+    red: &'a ReducedTopology,
+    scenario: CongestionScenario,
+    cfg: &ProbeConfig,
+    rng: R,
+) -> SnapshotStream<'a, R> {
+    assert_eq!(
+        scenario.len(),
+        red.num_links(),
+        "scenario tracks {} links but topology has {}",
+        scenario.len(),
+        red.num_links()
+    );
+    SnapshotStream {
+        red,
+        scenario,
+        cfg: *cfg,
+        rng,
+        produced: 0,
+    }
+}
+
 /// Simulates independent runs — one per seed, each starting from a
 /// clone of `scenario` with its own `StdRng` — in parallel across
 /// threads.
@@ -530,6 +608,73 @@ mod tests {
         for (k, t) in snap.link_truth.iter().enumerate() {
             assert!(t.arrivals <= probes * ppl[k].len() as u64);
         }
+    }
+
+    #[test]
+    fn stream_matches_batch_run_bitwise() {
+        let red = fig1_reduced();
+        let cfg = ProbeConfig {
+            probes_per_snapshot: 40,
+            ..ProbeConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(77);
+        let scenario = CongestionScenario::draw(
+            red.num_links(),
+            0.4,
+            CongestionDynamics::Markov {
+                stay_congested: 0.7,
+            },
+            &mut rng,
+        );
+        // Batch run from the post-draw RNG state…
+        let mut batch_rng = rng.clone();
+        let mut batch_scenario = scenario.clone();
+        let batch = simulate_run(&red, &mut batch_scenario, &cfg, 6, &mut batch_rng);
+        // …vs streaming the same state through the iterator.
+        let streamed: MeasurementSet =
+            simulate_stream(&red, scenario, &cfg, rng).take(6).collect();
+        assert_eq!(streamed.len(), batch.len());
+        for (s, b) in streamed.snapshots.iter().zip(batch.snapshots.iter()) {
+            assert_eq!(s.path_received, b.path_received);
+            for (st, bt) in s.link_truth.iter().zip(b.link_truth.iter()) {
+                assert_eq!(st.arrivals, bt.arrivals);
+                assert_eq!(st.drops, bt.drops);
+                assert_eq!(st.assigned_loss_rate, bt.assigned_loss_rate);
+                assert_eq!(st.congested, bt.congested);
+            }
+        }
+    }
+
+    #[test]
+    fn stream_tracks_scenario_and_count() {
+        let red = fig1_reduced();
+        let mut rng = StdRng::seed_from_u64(78);
+        let scenario = CongestionScenario::draw(
+            red.num_links(),
+            0.5,
+            CongestionDynamics::Redraw,
+            &mut rng,
+        );
+        let cfg = ProbeConfig {
+            probes_per_snapshot: 5,
+            ..ProbeConfig::default()
+        };
+        let mut stream = simulate_stream(&red, scenario, &cfg, rng);
+        assert_eq!(stream.produced(), 0);
+        let _ = stream.next();
+        let _ = stream.next();
+        assert_eq!(stream.produced(), 2);
+        assert_eq!(stream.scenario().len(), red.num_links());
+    }
+
+    #[test]
+    #[should_panic(expected = "scenario tracks")]
+    fn stream_checks_scenario_size() {
+        let red = fig1_reduced();
+        let mut rng = StdRng::seed_from_u64(79);
+        let scenario =
+            CongestionScenario::draw(2, 0.0, CongestionDynamics::Fixed, &mut rng);
+        let _ = simulate_stream(&red, scenario, &ProbeConfig::default(), rng);
     }
 
     #[test]

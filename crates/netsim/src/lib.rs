@@ -29,7 +29,8 @@ pub mod snapshot;
 pub mod traceroute;
 
 pub use engine::{
-    simulate_run, simulate_run_batch, simulate_snapshot, ChainAdvance, ProbeConfig,
+    simulate_run, simulate_run_batch, simulate_snapshot, simulate_stream, ChainAdvance,
+    ProbeConfig, SnapshotStream,
 };
 pub use loss::{BernoulliProcess, GilbertProcess, LossProcess, LossProcessKind};
 pub use models::{LossModel, DEFAULT_LOSS_THRESHOLD};

@@ -114,6 +114,16 @@ impl MeasurementSet {
     }
 }
 
+impl FromIterator<Snapshot> for MeasurementSet {
+    /// Collects a snapshot stream (e.g. [`crate::simulate_stream`])
+    /// into a measurement set, preserving order.
+    fn from_iter<I: IntoIterator<Item = Snapshot>>(iter: I) -> Self {
+        MeasurementSet {
+            snapshots: iter.into_iter().collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,16 +9,101 @@
 //! This facade crate re-exports the four member crates:
 //!
 //! * [`linalg`] — dense/sparse linear algebra (Householder QR, pivoted
-//!   QR, Cholesky, least squares, rank estimation);
+//!   QR, Givens row/factor updates, Cholesky, least squares, rank
+//!   estimation);
 //! * [`topology`] — graph model, BRITE-like generators, routing, alias
 //!   reduction, routing matrices, flutter filtering;
 //! * [`netsim`] — Gilbert/Bernoulli loss simulation, LLRD models, the
-//!   probe engine, probe wire format and traceroute error model;
+//!   probe engine (batch and [`netsim::simulate_stream`] streaming),
+//!   probe wire format and traceroute error model;
 //! * [`core`] — the LIA algorithm (variance learning + rank-reduced
-//!   first-moment inversion), baselines, metrics and analyses.
+//!   first-moment inversion), the streaming
+//!   [`core::streaming::OnlineEstimator`], baselines, metrics and
+//!   analyses.
 //!
-//! See `examples/quickstart.rs` for a complete end-to-end walkthrough,
-//! and the `losstomo-bench` crate for a binary per paper table/figure.
+//! See `ARCHITECTURE.md` at the repository root for the crate
+//! dependency graph, the batch vs streaming data flow, and a
+//! paper-to-code walkthrough; the `losstomo-bench` crate has a binary
+//! per paper table/figure.
+//!
+//! ## Quickstart: batch inference
+//!
+//! Build a network, simulate `m + 1` snapshots of probe measurements,
+//! learn the link variances from the first `m` (Phase 1), and infer
+//! per-link loss rates on the last snapshot (Phase 2):
+//!
+//! ```
+//! use losstomo::prelude::*;
+//! use losstomo::topology::gen::tree::{self, TreeParams};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // 1. A random 60-node tree: beacon at the root, destinations at the
+//! //    leaves, alias-reduced to the measurement system R.
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let topo = tree::generate(TreeParams { nodes: 60, max_branching: 4 }, &mut rng);
+//! let paths = compute_paths(&topo.graph, &topo.beacons, &topo.destinations);
+//! let red = reduce(&topo.graph, &paths);
+//!
+//! // 2. Simulate m + 1 snapshots: 20% of links congested, bursty
+//! //    (Gilbert) losses, 200 probes per path per snapshot.
+//! let m = 12;
+//! let mut scenario =
+//!     CongestionScenario::draw(red.num_links(), 0.2, CongestionDynamics::Fixed, &mut rng);
+//! let probe = ProbeConfig { probes_per_snapshot: 200, ..ProbeConfig::default() };
+//! let ms = simulate_run(&red, &mut scenario, &probe, m + 1, &mut rng);
+//!
+//! // 3. Phase 1 — link variances from the first m snapshots.
+//! let aug = AugmentedSystem::build(&red);
+//! let train = MeasurementSet { snapshots: ms.snapshots[..m].to_vec() };
+//! let centered = CenteredMeasurements::new(&train);
+//! let est_v = estimate_variances(&red, &aug, &centered, &VarianceConfig::default())?;
+//! assert_eq!(est_v.v.len(), red.num_links());
+//!
+//! // 4. Phase 2 — per-link loss rates on the newest snapshot.
+//! let eval = &ms.snapshots[m];
+//! let est = infer_link_rates(&red, &est_v.v, &eval.log_rates(), &LiaConfig::default())?;
+//! assert_eq!(est.transmission.len(), red.num_links());
+//! assert!(est.transmission.iter().all(|t| (0.0..=1.0).contains(t)));
+//! # Ok::<(), losstomo::linalg::LinalgError>(())
+//! ```
+//!
+//! ## Streaming inference
+//!
+//! The same pipeline, fed one snapshot at a time: the
+//! [`core::streaming::OnlineEstimator`] ingests each snapshot as it
+//! arrives, refreshes incrementally, and reports congested-set changes.
+//! With the default configuration its output is bit-identical to the
+//! batch pipeline over the same snapshots:
+//!
+//! ```
+//! use losstomo::prelude::*;
+//! use losstomo::topology::gen::tree::{self, TreeParams};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(2);
+//! let topo = tree::generate(TreeParams { nodes: 40, max_branching: 4 }, &mut rng);
+//! let paths = compute_paths(&topo.graph, &topo.beacons, &topo.destinations);
+//! let red = reduce(&topo.graph, &paths);
+//! let scenario =
+//!     CongestionScenario::draw(red.num_links(), 0.2, CongestionDynamics::Fixed, &mut rng);
+//! let probe = ProbeConfig { probes_per_snapshot: 200, ..ProbeConfig::default() };
+//!
+//! // Snapshots arrive as an iterator; the estimator's retention is
+//! // governed by its window mode (unbounded here — use
+//! // `WindowMode::Sliding` for monitors that run indefinitely).
+//! let mut monitor = OnlineEstimator::new(&red, OnlineConfig::default());
+//! for snapshot in simulate_stream(&red, scenario, &probe, rng).take(10) {
+//!     let update = monitor.ingest(&snapshot)?;
+//!     // update.appeared / update.cleared list congested-set changes.
+//!     if let Some(est) = &update.estimate {
+//!         assert_eq!(est.transmission.len(), red.num_links());
+//!     }
+//! }
+//! assert!(monitor.variances().is_some());
+//! # Ok::<(), losstomo::linalg::LinalgError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,13 +119,14 @@ pub mod prelude {
         check_identifiability, cross_validate, estimate_delay_variances, estimate_variances,
         infer_link_delays, infer_link_rates, location_accuracy, run_experiment, run_many,
         scfs_diagnose, AugmentedSystem, CenteredMeasurements, CrossValidationConfig,
-        DelayEstimate, EliminationStrategy, ExperimentConfig, LiaConfig, LinkRateEstimate,
-        ScfsConfig, VarianceConfig,
+        DelayEstimate, EliminationStrategy, ExperimentConfig, FactorRefresh, LiaConfig,
+        LinkRateEstimate, OnlineConfig, OnlineEstimator, OnlineUpdate, ScfsConfig,
+        StreamingCovariance, VarianceConfig, WindowMode,
     };
     pub use losstomo_netsim::{
-        simulate_run, simulate_snapshot, ChainAdvance, CongestionDynamics,
-        CongestionScenario, LossModel, LossProcessKind, MeasurementSet, ProbeConfig,
-        Snapshot, TracerouteConfig,
+        simulate_run, simulate_snapshot, simulate_stream, ChainAdvance, CongestionDynamics,
+        CongestionScenario, LossModel, LossProcessKind, MeasurementSet, ProbeConfig, Snapshot,
+        SnapshotStream, TracerouteConfig,
     };
     pub use losstomo_topology::{
         compute_paths, reduce, Graph, LinkId, NodeId, NodeKind, Path, PathId, PathSet,
@@ -58,5 +144,7 @@ mod tests {
         let _v = VarianceConfig::default();
         let _p = ProbeConfig::default();
         let _x = CrossValidationConfig::default();
+        let _o = OnlineConfig::default();
+        let _w = WindowMode::default();
     }
 }
