@@ -17,7 +17,10 @@
 //!
 //! Flags: `--scale quick|paper`, `--out PATH`.
 
-use losstomo_bench::{flag_value, planetlab_topology, tree_topology, PreparedTopology, Scale};
+use losstomo_bench::{
+    bench_meta, planetlab_topology, tree_topology, write_bench_report, BenchMeta,
+    PreparedTopology, Scale,
+};
 use losstomo_core::augmented::AugmentedSystem;
 use losstomo_core::covariance::CenteredMeasurements;
 use losstomo_core::{
@@ -69,9 +72,7 @@ struct Headline {
 
 #[derive(Debug, Serialize, Deserialize)]
 struct BenchReport {
-    schema_version: u64,
-    generated_by: String,
-    scale: String,
+    meta: BenchMeta,
     topologies: Vec<TopologyReport>,
     headline: Headline,
 }
@@ -272,12 +273,8 @@ fn bench_topology(prep: &PreparedTopology, snapshots: usize) -> TopologyReport {
 
 fn main() {
     let scale = Scale::from_args();
-    let scale_name = match scale {
-        Scale::Paper => "paper",
-        Scale::Quick => "quick",
-    };
     let snapshots = 50;
-    println!("perf_phase1 — numeric hot-path timings ({scale_name} scale)");
+    println!("perf_phase1 — numeric hot-path timings ({} scale)", scale.name());
     println!();
 
     let preps = vec![tree_topology(scale, 11), planetlab_topology(scale, 42)];
@@ -336,21 +333,9 @@ fn main() {
     );
 
     let report = BenchReport {
-        schema_version: 1,
-        generated_by: "perf_phase1".to_string(),
-        scale: scale_name.to_string(),
+        meta: bench_meta("perf_phase1", scale),
         topologies: reports,
         headline,
     };
-    let out_path = flag_value("--out").unwrap_or_else(default_out_path);
-    let json = serde_json::to_string_pretty(&report).expect("report serialises");
-    std::fs::write(&out_path, json + "\n").expect("write BENCH_phase1.json");
-    println!("wrote {out_path}");
-}
-
-/// Default output location: `BENCH_phase1.json` at the repository root
-/// (two levels above this crate's manifest), so the file lands in the
-/// same place regardless of the working directory.
-fn default_out_path() -> String {
-    format!("{}/../../BENCH_phase1.json", env!("CARGO_MANIFEST_DIR"))
+    write_bench_report("BENCH_phase1.json", &report);
 }

@@ -21,7 +21,9 @@
 //!
 //! Flags: `--scale quick|paper`, `--out PATH`.
 
-use losstomo_bench::{flag_value, tree_topology, PreparedTopology, Scale};
+use losstomo_bench::{
+    bench_meta, tree_topology, write_bench_report, BenchMeta, PreparedTopology, Scale,
+};
 use losstomo_core::augmented::AugmentedSystem;
 use losstomo_core::covariance::CenteredMeasurements;
 use losstomo_core::{
@@ -39,9 +41,7 @@ use std::time::Instant;
 
 #[derive(Debug, Serialize, Deserialize)]
 struct StreamReport {
-    schema_version: u64,
-    generated_by: String,
-    scale: String,
+    meta: BenchMeta,
     topology: String,
     paths: usize,
     links: usize,
@@ -91,13 +91,12 @@ fn batch_recompute(
 
 fn main() {
     let scale = Scale::from_args();
-    let scale_name = match scale {
-        Scale::Paper => "paper",
-        Scale::Quick => "quick",
-    };
     let warmup = 50;
     let measured = 10;
-    println!("stream_phase1 — streaming vs batch per-snapshot latency ({scale_name} scale)");
+    println!(
+        "stream_phase1 — streaming vs batch per-snapshot latency ({} scale)",
+        scale.name()
+    );
     println!();
 
     let prep = tree_topology(scale, 11);
@@ -190,9 +189,7 @@ fn main() {
     }
 
     let report = StreamReport {
-        schema_version: 1,
-        generated_by: "stream_phase1".to_string(),
-        scale: scale_name.to_string(),
+        meta: bench_meta("stream_phase1", scale),
         topology: prep.name.to_string(),
         paths: red.num_paths(),
         links: red.num_links(),
@@ -204,13 +201,5 @@ fn main() {
         speedup,
         bitwise_identical,
     };
-    let out_path = flag_value("--out").unwrap_or_else(default_out_path);
-    let json = serde_json::to_string_pretty(&report).expect("report serialises");
-    std::fs::write(&out_path, json + "\n").expect("write BENCH_stream.json");
-    println!("wrote {out_path}");
-}
-
-/// Default output location: `BENCH_stream.json` at the repository root.
-fn default_out_path() -> String {
-    format!("{}/../../BENCH_stream.json", env!("CARGO_MANIFEST_DIR"))
+    write_bench_report("BENCH_stream.json", &report);
 }

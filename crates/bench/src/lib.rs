@@ -22,6 +22,7 @@ use losstomo_topology::gen::{
 use losstomo_topology::{compute_paths, flutter, reduce, ReducedTopology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 /// How large to build the simulated topologies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +41,51 @@ impl Scale {
             _ => Scale::Paper,
         }
     }
+
+    /// The name recorded in benchmark reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Quick => "quick",
+        }
+    }
+}
+
+/// The common envelope every `BENCH_*.json` report embeds as its
+/// `meta` field — one schema for all perf binaries instead of the
+/// per-binary ad-hoc headers they used to emit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchMeta {
+    /// Version of the *envelope*; per-binary payloads carry their own
+    /// fields next to `meta`.
+    pub schema_version: u64,
+    /// The binary that produced the report.
+    pub generated_by: String,
+    /// `paper` or `quick`.
+    pub scale: String,
+}
+
+/// Builds the standard report envelope for a perf binary.
+pub fn bench_meta(generated_by: &str, scale: Scale) -> BenchMeta {
+    BenchMeta {
+        schema_version: 2,
+        generated_by: generated_by.to_string(),
+        scale: scale.name().to_string(),
+    }
+}
+
+/// Serialises `report` as pretty JSON and writes it to `--out PATH`
+/// (if given) or `<repo root>/<default_name>` — the one place that
+/// knows where benchmark artifacts land. Prints the written path.
+pub fn write_bench_report<T: Serialize>(default_name: &str, report: &T) {
+    let out_path = flag_value("--out").unwrap_or_else(|| {
+        // Two levels above this crate's manifest = the repo root, so
+        // the file lands in the same place from any working directory.
+        format!("{}/../../{default_name}", env!("CARGO_MANIFEST_DIR"))
+    });
+    let json = serde_json::to_string_pretty(report).expect("report serialises");
+    std::fs::write(&out_path, json + "\n").expect("write benchmark report");
+    println!("wrote {out_path}");
 }
 
 /// A prepared topology: generator output plus the reduced routing
@@ -94,6 +140,32 @@ pub fn waxman_topology(scale: Scale, seed: u64) -> PreparedTopology {
     };
     let mut rng = StdRng::seed_from_u64(seed);
     prepare("Waxman", waxman::generate(params, &mut rng))
+}
+
+/// BRITE-like Waxman mesh at an explicit node count — the
+/// `scale_phase2` scenario pushing past the paper's 1000-node meshes
+/// (5k–10k nodes; the reduced system grows to several thousand virtual
+/// links, where the sparse Phase-2 path is the only practical one).
+pub fn waxman_scale_topology(nodes: usize, hosts: usize, seed: u64) -> PreparedTopology {
+    let params = WaxmanParams {
+        nodes,
+        hosts,
+        ..WaxmanParams::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    prepare("Waxman-scale", waxman::generate(params, &mut rng))
+}
+
+/// BRITE-like Barabási–Albert mesh at an explicit node count (the
+/// alternative `scale_phase2` scenario family).
+pub fn barabasi_scale_topology(nodes: usize, hosts: usize, seed: u64) -> PreparedTopology {
+    let params = BarabasiParams {
+        nodes,
+        hosts,
+        ..BarabasiParams::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    prepare("Barabasi-scale", barabasi::generate(params, &mut rng))
 }
 
 /// BRITE-like Barabási–Albert mesh (Table 2 row 1).

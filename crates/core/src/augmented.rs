@@ -18,26 +18,22 @@
 //!   only the rows touching changed paths need recomputation —
 //!   [`AugmentedSystem::with_paths_replaced`] does exactly that.
 
-use losstomo_linalg::sparse::{CsrBuilder, CsrMatrix};
-use losstomo_linalg::{rank, Matrix};
-use losstomo_topology::{PathId, ReducedTopology};
+use losstomo_linalg::{rank, CsrMatrix, Matrix};
+use losstomo_topology::{PathId, ReducedTopology, RoutingMatrix};
 
 /// The augmented moment system: pair index plus sparse rows of `A`.
 ///
-/// Rows are stored in one flat CSR-style buffer (`links` + `offsets`)
-/// rather than a `Vec` per row: Phase-1 assembly walks every row twice
-/// per estimate, and the flat layout turns that walk into a single
+/// Rows are stored as a shared [`RoutingMatrix`] — the same flat binary
+/// CSR the routing matrix itself uses, so Phase-1 assembly walks one
 /// sequential stream instead of a pointer chase through per-row
-/// allocations.
+/// allocations, and downstream consumers ([`crate::variance::GramCache`],
+/// the covariance sweep) read the rows without re-materialising them.
 #[derive(Debug, Clone)]
 pub struct AugmentedSystem {
     /// The path pair `(i, j)` with `i ≤ j` for each row of `A`.
     pairs: Vec<(PathId, PathId)>,
-    /// Shared-link indices of all rows, concatenated.
-    links: Vec<usize>,
-    /// Row `r` occupies `links[offsets[r]..offsets[r + 1]]`.
-    offsets: Vec<usize>,
-    n_links: usize,
+    /// The rows of `A`: shared-link indices per retained pair.
+    rows: RoutingMatrix,
 }
 
 /// Intersection of two ascending index slices.
@@ -70,13 +66,12 @@ impl AugmentedSystem {
         let np = red.num_paths();
         let nc = red.num_links();
         let mut pairs = Vec::new();
-        let mut links = Vec::new();
-        let mut offsets = vec![0usize];
+        let mut rows = RoutingMatrix::builder(nc);
+        let mut scratch: Vec<usize> = Vec::new();
         // Diagonal pairs (i, i): the path's own links.
         for i in 0..np {
             pairs.push((PathId(i as u32), PathId(i as u32)));
-            links.extend_from_slice(red.path_links(PathId(i as u32)));
-            offsets.push(links.len());
+            rows.push_sorted_row(red.path_links(PathId(i as u32)));
         }
         // Off-diagonal pairs sharing at least one link, discovered via
         // the link → paths inverted index.
@@ -89,23 +84,21 @@ impl AugmentedSystem {
                     if !seen.insert(key) {
                         continue;
                     }
-                    let before = links.len();
+                    scratch.clear();
                     intersect_sorted_into(
                         red.path_links(key.0),
                         red.path_links(key.1),
-                        &mut links,
+                        &mut scratch,
                     );
-                    debug_assert!(links.len() > before);
+                    debug_assert!(!scratch.is_empty());
                     pairs.push(key);
-                    offsets.push(links.len());
+                    rows.push_sorted_row(&scratch);
                 }
             }
         }
         AugmentedSystem {
             pairs,
-            links,
-            offsets,
-            n_links: nc,
+            rows: rows.build(),
         }
     }
 
@@ -116,7 +109,7 @@ impl AugmentedSystem {
 
     /// Number of links `n_c` (columns of `A`).
     pub fn num_links(&self) -> usize {
-        self.n_links
+        self.rows.cols()
     }
 
     /// The path pair of row `r`.
@@ -126,15 +119,18 @@ impl AugmentedSystem {
 
     /// The shared links of row `r` (ascending).
     pub fn row(&self, r: usize) -> &[usize] {
-        &self.links[self.offsets[r]..self.offsets[r + 1]]
+        self.rows.row(r)
+    }
+
+    /// The rows of `A` as the shared [`RoutingMatrix`] — Gram caches
+    /// and covariance sweeps read this directly.
+    pub fn matrix(&self) -> &RoutingMatrix {
+        &self.rows
     }
 
     /// Iterates over `(pair, shared links)`.
     pub fn iter(&self) -> impl Iterator<Item = ((PathId, PathId), &[usize])> {
-        self.pairs
-            .iter()
-            .copied()
-            .zip(self.offsets.windows(2).map(|w| &self.links[w[0]..w[1]]))
+        self.pairs.iter().copied().zip(self.rows.iter())
     }
 
     /// The path pairs of all retained rows as raw index pairs, in row
@@ -150,17 +146,12 @@ impl AugmentedSystem {
 
     /// Assembles the retained rows as a sparse matrix (binary).
     pub fn to_sparse(&self) -> CsrMatrix {
-        let mut b = CsrBuilder::new(self.n_links);
-        for r in 0..self.num_rows() {
-            b.push_binary_row(self.row(r))
-                .expect("link indices are in range by construction");
-        }
-        b.build()
+        self.rows.to_sparse()
     }
 
     /// Assembles the retained rows densely (small systems only).
     pub fn to_dense(&self) -> Matrix {
-        self.to_sparse().to_dense()
+        self.rows.to_dense()
     }
 
     /// Theorem-1 check: does `A` have full column rank, i.e. are the
@@ -170,13 +161,14 @@ impl AugmentedSystem {
     /// is exact. Cost: one pivoted QR on a dense `num_rows × n_c`
     /// matrix — use on small/medium topologies only.
     pub fn is_identifiable(&self) -> bool {
-        if self.n_links == 0 {
+        let nc = self.num_links();
+        if nc == 0 {
             return false;
         }
-        if self.pairs.len() < self.n_links {
+        if self.pairs.len() < nc {
             return false;
         }
-        rank(&self.to_dense()) == self.n_links
+        rank(&self.to_dense()) == nc
     }
 
     /// Incrementally rebuilds the system after the paths in `changed`
@@ -189,8 +181,7 @@ impl AugmentedSystem {
         let changed_set: std::collections::HashSet<PathId> = changed.iter().copied().collect();
         let np = red.num_paths();
         let mut pairs = Vec::with_capacity(self.pairs.len());
-        let mut links = Vec::with_capacity(self.links.len());
-        let mut offsets = vec![0usize];
+        let mut rows = RoutingMatrix::builder(red.num_links());
         // Keep untouched rows that still reference valid paths.
         for (pair, row) in self.iter() {
             if pair.0.index() >= np || pair.1.index() >= np {
@@ -200,12 +191,12 @@ impl AugmentedSystem {
                 continue;
             }
             pairs.push(pair);
-            links.extend_from_slice(row);
-            offsets.push(links.len());
+            rows.push_sorted_row(row);
         }
         // Recompute all pairs involving a changed path.
         let mut seen: std::collections::HashSet<(PathId, PathId)> =
             pairs.iter().copied().collect();
+        let mut scratch: Vec<usize> = Vec::new();
         for &c in changed {
             if c.index() >= np {
                 continue; // removed path
@@ -216,28 +207,26 @@ impl AugmentedSystem {
                 if !seen.insert(key) {
                     continue;
                 }
-                let before = links.len();
+                scratch.clear();
                 if key.0 == key.1 {
-                    links.extend_from_slice(red.path_links(key.0));
+                    scratch.extend_from_slice(red.path_links(key.0));
                 } else {
                     intersect_sorted_into(
                         red.path_links(key.0),
                         red.path_links(key.1),
-                        &mut links,
+                        &mut scratch,
                     );
                 }
-                if links.len() == before {
+                if scratch.is_empty() {
                     continue;
                 }
                 pairs.push(key);
-                offsets.push(links.len());
+                rows.push_sorted_row(&scratch);
             }
         }
         AugmentedSystem {
             pairs,
-            links,
-            offsets,
-            n_links: red.num_links(),
+            rows: rows.build(),
         }
     }
 }
@@ -316,9 +305,7 @@ mod tests {
         let red = fixtures::reduced(&fixtures::figure1());
         let aug = AugmentedSystem {
             pairs: vec![],
-            links: vec![],
-            offsets: vec![0],
-            n_links: red.num_links(),
+            rows: RoutingMatrix::empty(red.num_links()),
         };
         assert!(!aug.is_identifiable());
     }

@@ -20,9 +20,10 @@
 //! already-kept higher-variance set is provided for the ablation study
 //! (it never discards an identifiable congested link).
 
-use losstomo_linalg::{lstsq, LinalgError, LstsqBackend, Matrix, PivotedQr};
+use losstomo_linalg::{lstsq, CsrMatrix, LinalgError, LstsqBackend, Matrix, PivotedQr, SparseQr};
 use losstomo_topology::ReducedTopology;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// How Phase 2 chooses the columns of `R*`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -37,13 +38,107 @@ pub enum EliminationStrategy {
     GreedyMatroid,
 }
 
+/// Which factorisation family Phase 2 uses for its rank checks and the
+/// reduced least-squares solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Phase2Dispatch {
+    /// Dense pivoted QR up to [`dense_phase2_max_cols`] columns, the
+    /// sparse Givens QR above (the routing matrix is 1–2 % dense at
+    /// mesh scale, where densifying dominates the pipeline). Default.
+    #[default]
+    Auto,
+    /// Force the dense pivoted-QR path at any size — the pre-sparse
+    /// behaviour, kept as the dispatchable oracle for golden tests.
+    Dense,
+    /// Force the sparse path at any size (tests, benchmarks).
+    Sparse,
+}
+
+/// The column count up to which [`Phase2Dispatch::Auto`] stays dense:
+/// the `LOSSTOMO_DENSE_PHASE2_MAX_COLS` environment variable, default
+/// 2500 (read once per process).
+pub fn dense_phase2_max_cols() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("LOSSTOMO_DENSE_PHASE2_MAX_COLS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2500)
+    })
+}
+
+impl Phase2Dispatch {
+    /// Whether a system with `nc` link columns resolves to the dense
+    /// path.
+    pub fn is_dense(self, nc: usize) -> bool {
+        match self {
+            Phase2Dispatch::Auto => nc <= dense_phase2_max_cols(),
+            Phase2Dispatch::Dense => true,
+            Phase2Dispatch::Sparse => false,
+        }
+    }
+}
+
+/// The routing-matrix view Phase 2 runs its rank checks and reduced
+/// solves against — materialised **once** per estimator/bisection and
+/// reused for every check, so neither path re-materialises `R`.
+#[derive(Debug, Clone)]
+pub enum RankView {
+    /// Dense copy of `R`; subset checks use the pivoted QR (oracle).
+    Dense(Matrix),
+    /// CSR view of `R`; subset checks use the sparse Givens QR.
+    Sparse(CsrMatrix),
+}
+
+impl RankView {
+    /// Builds the view the dispatch policy selects for `red`.
+    pub fn new(red: &ReducedTopology, dispatch: Phase2Dispatch) -> RankView {
+        if dispatch.is_dense(red.num_links()) {
+            RankView::Dense(red.matrix.to_dense())
+        } else {
+            RankView::Sparse(red.matrix.to_sparse())
+        }
+    }
+
+    /// Does the column subset `kept` (any order for the dense view;
+    /// sorted internally for the sparse one) have full column rank?
+    /// `np` is the row count; a subset wider than `np` is trivially
+    /// dependent and short-circuits.
+    fn subset_full_rank(&self, kept: &[usize], np: usize) -> bool {
+        if kept.is_empty() {
+            return true;
+        }
+        if kept.len() > np {
+            return false;
+        }
+        match self {
+            RankView::Dense(dense) => {
+                let sub = dense.select_columns(kept);
+                losstomo_linalg::rank(&sub) == kept.len()
+            }
+            RankView::Sparse(csr) => {
+                let mut sorted = kept.to_vec();
+                sorted.sort_unstable();
+                let sub = csr.select_columns(&sorted);
+                match SparseQr::new(sub) {
+                    Ok(qr) => qr.has_full_column_rank(),
+                    Err(_) => false,
+                }
+            }
+        }
+    }
+}
+
 /// LIA configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct LiaConfig {
     /// Column-elimination strategy for Phase 2.
     pub elimination: EliminationStrategy,
-    /// Backend for the reduced first-moment solve.
+    /// Backend for the reduced first-moment solve (dense path; the
+    /// sparse path always solves through the sparse QR).
     pub backend: LstsqBackend,
+    /// Dense-vs-sparse factorisation dispatch.
+    pub dispatch: Phase2Dispatch,
 }
 
 impl Default for LiaConfig {
@@ -51,6 +146,7 @@ impl Default for LiaConfig {
         LiaConfig {
             elimination: EliminationStrategy::PaperOrder,
             backend: LstsqBackend::HouseholderQr,
+            dispatch: Phase2Dispatch::Auto,
         }
     }
 }
@@ -91,6 +187,12 @@ impl LinkRateEstimate {
 /// bisects over the number of dropped smallest-variance columns; the
 /// greedy strategy scans in decreasing variance order and keeps columns
 /// that enlarge the span.
+///
+/// This convenience entry point always uses the
+/// [`Phase2Dispatch::Auto`] policy for its rank checks; to force the
+/// dense oracle or the sparse path, go through
+/// [`infer_link_rates`]/[`LiaConfig::dispatch`] or call
+/// [`select_paper_order_hinted`] with an explicit [`RankView`].
 pub fn select_full_rank_columns(
     red: &ReducedTopology,
     variances: &[f64],
@@ -122,7 +224,8 @@ pub fn variance_order(variances: &[f64]) -> Vec<usize> {
 }
 
 /// [`select_full_rank_columns`] with a precomputed [`variance_order`]
-/// permutation (`order.len()` must equal `red.num_links()`).
+/// permutation (`order.len()` must equal `red.num_links()`); same
+/// [`Phase2Dispatch::Auto`] policy.
 pub fn select_full_rank_columns_ordered(
     red: &ReducedTopology,
     order: &[usize],
@@ -136,40 +239,47 @@ pub fn select_full_rank_columns_ordered(
         order.len(),
         nc
     );
-    let dense = red.matrix.to_dense();
 
     match strategy {
-        EliminationStrategy::PaperOrder => select_paper_order_hinted(red, &dense, order, None).0,
+        EliminationStrategy::PaperOrder => {
+            let view = RankView::new(red, Phase2Dispatch::Auto);
+            select_paper_order_hinted(red, &view, order, None).0
+        }
         EliminationStrategy::GreedyMatroid => {
-            // Incremental Gram–Schmidt over columns in descending
-            // variance order.
-            let np = red.num_paths();
-            let mut basis: Vec<Vec<f64>> = Vec::new();
-            let mut kept: Vec<usize> = Vec::new();
-            for &j in order.iter().rev() {
-                if basis.len() == np {
-                    break; // span is full
-                }
-                let mut col = dense.col(j);
-                let norm0 = losstomo_linalg::vector::norm2(&col);
-                if norm0 == 0.0 {
-                    continue;
-                }
-                for b in &basis {
-                    let proj = losstomo_linalg::vector::dot(b, &col);
-                    losstomo_linalg::vector::axpy(-proj, b, &mut col);
-                }
-                let residual = losstomo_linalg::vector::norm2(&col);
-                if residual > 1e-10 * norm0 {
-                    losstomo_linalg::vector::scale(1.0 / residual, &mut col);
-                    basis.push(col);
-                    kept.push(j);
-                }
-            }
-            kept.sort_unstable();
-            kept
+            greedy_matroid_columns(&red.matrix.to_dense(), red.num_paths(), order)
         }
     }
+}
+
+/// The greedy-matroid selection body: incremental Gram–Schmidt over
+/// columns in descending variance order. This ablation strategy is
+/// dense at every size — it materialises one column at a time —
+/// so callers that already hold a dense view pass it in.
+fn greedy_matroid_columns(dense: &Matrix, np: usize, order: &[usize]) -> Vec<usize> {
+    let mut basis: Vec<Vec<f64>> = Vec::new();
+    let mut kept: Vec<usize> = Vec::new();
+    for &j in order.iter().rev() {
+        if basis.len() == np {
+            break; // span is full
+        }
+        let mut col = dense.col(j);
+        let norm0 = losstomo_linalg::vector::norm2(&col);
+        if norm0 == 0.0 {
+            continue;
+        }
+        for b in &basis {
+            let proj = losstomo_linalg::vector::dot(b, &col);
+            losstomo_linalg::vector::axpy(-proj, b, &mut col);
+        }
+        let residual = losstomo_linalg::vector::norm2(&col);
+        if residual > 1e-10 * norm0 {
+            losstomo_linalg::vector::scale(1.0 / residual, &mut col);
+            basis.push(col);
+            kept.push(j);
+        }
+    }
+    kept.sort_unstable();
+    kept
 }
 
 /// The paper-order column selection with an optional warm-start cut,
@@ -183,11 +293,11 @@ pub fn select_full_rank_columns_ordered(
 /// cut can re-certify it with **two** rank checks instead of the
 /// `O(log n_c)` bisection, with identical output (the streaming
 /// estimator does exactly this; a stale hint falls back to the full
-/// bisection). `dense` must be `red.matrix.to_dense()`, passed in so
-/// repeated callers materialise it once.
+/// bisection). `view` must be a [`RankView`] of `red.matrix`, passed in
+/// so repeated callers materialise it once.
 pub fn select_paper_order_hinted(
     red: &ReducedTopology,
-    dense: &Matrix,
+    view: &RankView,
     order: &[usize],
     hint: Option<usize>,
 ) -> (Vec<usize>, usize) {
@@ -199,26 +309,19 @@ pub fn select_paper_order_hinted(
         order.len(),
         nc
     );
-    assert_eq!(
-        (dense.rows(), dense.cols()),
-        (red.num_paths(), nc),
-        "dense matrix is {}x{}, expected the {}x{} routing matrix",
-        dense.rows(),
-        dense.cols(),
-        red.num_paths(),
-        nc
-    );
-    let full_rank_after_drop = |k: usize| -> bool {
-        let kept: Vec<usize> = order[k..].to_vec();
-        if kept.is_empty() {
-            return true;
-        }
-        if kept.len() > red.num_paths() {
-            return false;
-        }
-        let sub = dense.select_columns(&kept);
-        losstomo_linalg::rank(&sub) == kept.len()
-    };
+    if let RankView::Dense(dense) = view {
+        assert_eq!(
+            (dense.rows(), dense.cols()),
+            (red.num_paths(), nc),
+            "dense matrix is {}x{}, expected the {}x{} routing matrix",
+            dense.rows(),
+            dense.cols(),
+            red.num_paths(),
+            nc
+        );
+    }
+    let full_rank_after_drop =
+        |k: usize| -> bool { view.subset_full_rank(&order[k..], red.num_paths()) };
     let cut = 'cut: {
         // Warm start: certify the hinted cut as still minimal.
         if let Some(h) = hint {
@@ -251,6 +354,12 @@ pub fn select_paper_order_hinted(
 
 /// Runs Phase 2: solves the reduced first-moment system for one
 /// snapshot's log measurements `y` and returns per-link rates.
+///
+/// The factorisation family follows `cfg.dispatch`: below the dense
+/// threshold the historical pivoted-QR path runs unchanged
+/// (bit-identical to the pre-sparse pipeline); above it the rank checks
+/// and the reduced solve both go through the sparse Givens QR without
+/// ever densifying `R`.
 pub fn infer_link_rates(
     red: &ReducedTopology,
     variances: &[f64],
@@ -265,14 +374,53 @@ pub fn infer_link_rates(
             red.num_paths()
         )));
     }
-    let kept = select_full_rank_columns(red, variances, cfg.elimination);
-    let dense = red.matrix.to_dense();
-    let rstar = dense.select_columns(&kept);
-    let xstar = match cfg.backend {
-        LstsqBackend::HouseholderQr => PivotedQr::new(&rstar)?.solve_least_squares(y)?,
-        LstsqBackend::NormalEquations => lstsq::solve_normal_equations(&rstar, y)?,
+    assert_eq!(
+        variances.len(),
+        nc,
+        "got {} variances for {} links",
+        variances.len(),
+        nc
+    );
+    let view = RankView::new(red, cfg.dispatch);
+    let kept = match (cfg.elimination, &view) {
+        (EliminationStrategy::PaperOrder, _) => {
+            select_paper_order_hinted(red, &view, &variance_order(variances), None).0
+        }
+        // Greedy is dense-only; reuse the already-materialised view
+        // instead of densifying a second time.
+        (EliminationStrategy::GreedyMatroid, RankView::Dense(dense)) => {
+            greedy_matroid_columns(dense, red.num_paths(), &variance_order(variances))
+        }
+        (EliminationStrategy::GreedyMatroid, RankView::Sparse(_)) => {
+            select_full_rank_columns(red, variances, cfg.elimination)
+        }
     };
+    let xstar = solve_reduced(&view, &kept, y, cfg.backend)?;
     Ok(rates_from_solution(nc, &kept, &xstar))
+}
+
+/// Solves the reduced first-moment system `Y = R* X*` for the kept
+/// columns (ascending) against whichever view Phase 2 dispatched to.
+/// The streaming estimator does not call this — it memoizes the
+/// factorisation of `R*` across snapshots (`Phase2Factor` in
+/// `streaming.rs`) and must be kept in step with any change to the
+/// factor choice or solve path here.
+pub(crate) fn solve_reduced(
+    view: &RankView,
+    kept: &[usize],
+    y: &[f64],
+    backend: LstsqBackend,
+) -> Result<Vec<f64>, LinalgError> {
+    match view {
+        RankView::Dense(dense) => {
+            let rstar = dense.select_columns(kept);
+            match backend {
+                LstsqBackend::HouseholderQr => PivotedQr::new(&rstar)?.solve_least_squares(y),
+                LstsqBackend::NormalEquations => lstsq::solve_normal_equations(&rstar, y),
+            }
+        }
+        RankView::Sparse(csr) => SparseQr::new(csr.select_columns(kept))?.solve_least_squares(y),
+    }
 }
 
 /// Expands a reduced-system solution `X*` (log rates of the kept

@@ -69,8 +69,8 @@ pub use experiment::{run_experiment, run_many, ExperimentConfig, ExperimentResul
 pub use identifiability::{check_identifiability, IdentifiabilityReport};
 pub use delay::{estimate_delay_variances, infer_link_delays, DelayEstimate};
 pub use lia::{
-    infer_link_rates, select_full_rank_columns, EliminationStrategy, LiaConfig,
-    LinkRateEstimate,
+    dense_phase2_max_cols, infer_link_rates, select_full_rank_columns, EliminationStrategy,
+    LiaConfig, LinkRateEstimate, Phase2Dispatch, RankView,
 };
 pub use metrics::{location_accuracy, LocationAccuracy, RateErrors, Summary};
 pub use scfs::{scfs_diagnose, ScfsConfig};

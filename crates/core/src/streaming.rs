@@ -55,12 +55,14 @@
 
 use crate::augmented::AugmentedSystem;
 use crate::covariance::CenteredMeasurements;
-use crate::lia::{self, EliminationStrategy, LiaConfig, LinkRateEstimate};
+use crate::lia::{self, EliminationStrategy, LiaConfig, LinkRateEstimate, RankView};
 use crate::variance::{
     estimate_variances_cached, estimate_variances_from_sigmas, GramCache, VarianceConfig,
     VarianceEstimate,
 };
-use losstomo_linalg::{givens, lstsq, triangular, Cholesky, LinalgError, LstsqBackend, Matrix, PivotedQr};
+use losstomo_linalg::{
+    givens, lstsq, triangular, Cholesky, LinalgError, LstsqBackend, Matrix, PivotedQr, SparseQr,
+};
 use losstomo_netsim::Snapshot;
 use losstomo_topology::ReducedTopology;
 use std::collections::VecDeque;
@@ -418,9 +420,10 @@ pub struct OnlineUpdate {
 pub struct OnlineEstimator {
     cfg: OnlineConfig,
     red: ReducedTopology,
-    /// Dense routing matrix, materialised once for Phase-2 column
-    /// selection and `R*` assembly.
-    dense_r: Matrix,
+    /// The Phase-2 routing-matrix view (dense below the dispatch
+    /// threshold, CSR above), materialised once for column selection
+    /// and `R*` assembly.
+    view: RankView,
     aug: AugmentedSystem,
     cov: StreamingCovariance,
     gram: GramCache,
@@ -428,17 +431,29 @@ pub struct OnlineEstimator {
     factor: Option<Matrix>,
     variances: Option<VarianceEstimate>,
     /// Memoized Phase-2 structure: the variance order of the last
-    /// refresh, its elimination cut, its kept column set, `R*`, and its
-    /// pivoted QR.
+    /// refresh, its elimination cut, its kept column set, and the
+    /// factorisation of `R*`.
     order: Vec<usize>,
     cut: Option<usize>,
     kept: Vec<usize>,
-    rstar: Option<Matrix>,
-    qr: Option<PivotedQr>,
+    p2: Option<Phase2Factor>,
     congested: Vec<usize>,
     since_refresh: usize,
     refreshes: u64,
     warmup_error: Option<LinalgError>,
+}
+
+/// The memoized factorisation of the reduced system `R*`, reused while
+/// the kept column set is unchanged.
+#[derive(Debug)]
+enum Phase2Factor {
+    /// Dense pivoted QR (the default dense-path backend).
+    DenseQr(PivotedQr),
+    /// Dense `R*` solved by normal equations per estimate
+    /// ([`LstsqBackend::NormalEquations`]).
+    DenseNormal(Matrix),
+    /// Sparse Givens QR (the sparse dispatch path).
+    Sparse(SparseQr),
 }
 
 impl OnlineEstimator {
@@ -449,9 +464,9 @@ impl OnlineEstimator {
         let aug = AugmentedSystem::build(red);
         let cov = StreamingCovariance::new(red.num_paths(), aug.pair_indices(), cfg.window);
         OnlineEstimator {
-            cfg,
             red: red.clone(),
-            dense_r: red.matrix.to_dense(),
+            view: RankView::new(red, cfg.lia.dispatch),
+            cfg,
             aug,
             cov,
             gram: GramCache::new(),
@@ -460,8 +475,7 @@ impl OnlineEstimator {
             order: Vec::new(),
             cut: None,
             kept: Vec::new(),
-            rstar: None,
-            qr: None,
+            p2: None,
             congested: Vec::new(),
             since_refresh: 0,
             refreshes: 0,
@@ -593,11 +607,11 @@ impl OnlineEstimator {
         // full bisection only when the cut actually moved); and an
         // unchanged kept set reuses the factorisation.
         let order = lia::variance_order(&est.v);
-        if order != self.order || self.rstar.is_none() {
+        if order != self.order || self.p2.is_none() {
             let kept = match self.cfg.lia.elimination {
                 EliminationStrategy::PaperOrder => {
                     let (kept, cut) =
-                        lia::select_paper_order_hinted(&self.red, &self.dense_r, &order, self.cut);
+                        lia::select_paper_order_hinted(&self.red, &self.view, &order, self.cut);
                     self.cut = Some(cut);
                     kept
                 }
@@ -607,13 +621,21 @@ impl OnlineEstimator {
                     self.cfg.lia.elimination,
                 ),
             };
-            if kept != self.kept || self.rstar.is_none() {
-                let rstar = self.dense_r.select_columns(&kept);
-                self.qr = match self.cfg.lia.backend {
-                    LstsqBackend::HouseholderQr => Some(PivotedQr::new(&rstar)?),
-                    LstsqBackend::NormalEquations => None,
-                };
-                self.rstar = Some(rstar);
+            if kept != self.kept || self.p2.is_none() {
+                self.p2 = Some(match &self.view {
+                    RankView::Dense(dense) => {
+                        let rstar = dense.select_columns(&kept);
+                        match self.cfg.lia.backend {
+                            LstsqBackend::HouseholderQr => {
+                                Phase2Factor::DenseQr(PivotedQr::new(&rstar)?)
+                            }
+                            LstsqBackend::NormalEquations => Phase2Factor::DenseNormal(rstar),
+                        }
+                    }
+                    RankView::Sparse(csr) => {
+                        Phase2Factor::Sparse(SparseQr::new(csr.select_columns(&kept))?)
+                    }
+                });
                 self.kept = kept;
             }
             self.order = order;
@@ -639,7 +661,7 @@ impl OnlineEstimator {
             .iter()
             .map(|&s| !(cfg.drop_negative_covariances && s < 0.0))
             .collect();
-        let (added, dropped) = self.gram.sync(&self.aug, nc, &new_kept);
+        let (added, dropped) = self.gram.sync(self.aug.matrix(), nc, &new_kept);
         let used = new_kept.iter().filter(|&&k| k).count();
         let dropped_count = self.aug.num_rows() - used;
         if used < nc {
@@ -726,14 +748,10 @@ impl OnlineEstimator {
                 self.red.num_paths()
             )));
         }
-        let rstar = self.rstar.as_ref().expect("kept set built with variances");
-        let xstar = match self.cfg.lia.backend {
-            LstsqBackend::HouseholderQr => self
-                .qr
-                .as_ref()
-                .expect("QR memoized for the Householder backend")
-                .solve_least_squares(y)?,
-            LstsqBackend::NormalEquations => lstsq::solve_normal_equations(rstar, y)?,
+        let xstar = match self.p2.as_ref().expect("kept set built with variances") {
+            Phase2Factor::DenseQr(qr) => qr.solve_least_squares(y)?,
+            Phase2Factor::DenseNormal(rstar) => lstsq::solve_normal_equations(rstar, y)?,
+            Phase2Factor::Sparse(qr) => qr.solve_least_squares(y)?,
         };
         Ok(lia::rates_from_solution(
             self.red.num_links(),

@@ -12,11 +12,10 @@ use crate::augmented::AugmentedSystem;
 use crate::covariance::CenteredMeasurements;
 use crate::lia::{infer_link_rates, LiaConfig};
 use crate::variance::{estimate_variances, VarianceConfig};
-use losstomo_linalg::sparse::CsrBuilder;
 use losstomo_linalg::LinalgError;
 use losstomo_netsim::MeasurementSet;
 use losstomo_topology::alias::{VirtualLink, VirtualLinkId};
-use losstomo_topology::{PathId, ReducedTopology};
+use losstomo_topology::{PathId, ReducedTopology, RoutingMatrix};
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -98,19 +97,13 @@ fn build_subsystem(red: &ReducedTopology, inference: &[PathId]) -> SubSystem {
         groups[gid].push(k);
         group_of.insert(k, gid);
     }
-    // Subsystem routing matrix.
-    let mut builder = CsrBuilder::new(groups.len());
+    // Subsystem routing matrix (the shared builder sorts and dedups).
+    let mut builder = RoutingMatrix::builder(groups.len());
+    let mut cols: Vec<usize> = Vec::new();
     for &pid in inference {
-        let mut cols: Vec<usize> = red
-            .path_links(pid)
-            .iter()
-            .map(|k| group_of[k])
-            .collect();
-        cols.sort_unstable();
-        cols.dedup();
-        builder
-            .push_binary_row(&cols)
-            .expect("group indices in range by construction");
+        cols.clear();
+        cols.extend(red.path_links(pid).iter().map(|k| group_of[k]));
+        builder.push_row(&cols);
     }
     // Reuse ReducedTopology as a plain matrix holder: the inference
     // pipeline only touches `matrix`.

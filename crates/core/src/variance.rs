@@ -157,18 +157,20 @@ impl GramCache {
     }
 
     /// Re-points the cache at `new_kept`, patching the counts for every
-    /// row whose status changed. Returns the changed rows as
+    /// row whose status changed. `rows` is the augmented system's
+    /// shared [`losstomo_topology::RoutingMatrix`]
+    /// ([`AugmentedSystem::matrix`]). Returns the changed rows as
     /// `(newly_kept, newly_dropped)` index lists (ascending).
     pub(crate) fn sync(
         &mut self,
-        aug: &AugmentedSystem,
+        rows: &losstomo_topology::RoutingMatrix,
         nc: usize,
         new_kept: &[bool],
     ) -> (Vec<usize>, Vec<usize>) {
-        debug_assert_eq!(new_kept.len(), aug.num_rows());
+        debug_assert_eq!(new_kept.len(), rows.rows());
         if !self.ready {
             self.counts = vec![0u32; nc * nc];
-            self.kept = vec![false; aug.num_rows()];
+            self.kept = vec![false; rows.rows()];
             self.ready = true;
         }
         let mut added = Vec::new();
@@ -177,7 +179,7 @@ impl GramCache {
             if was == now {
                 continue;
             }
-            let links = aug.row(r);
+            let links = rows.row(r);
             if now {
                 added.push(r);
                 for (ai, &ka) in links.iter().enumerate() {
@@ -231,7 +233,7 @@ pub fn estimate_variances_cached(
         .iter()
         .map(|&s| !(cfg.drop_negative_covariances && s < 0.0))
         .collect();
-    cache.sync(aug, nc, &new_kept);
+    cache.sync(aug.matrix(), nc, &new_kept);
     let used = new_kept.iter().filter(|&&k| k).count();
     let dropped_count = aug.num_rows() - used;
     // `AᵀΣ*` changes with every covariance value, so it is rebuilt per
@@ -270,7 +272,7 @@ pub fn estimate_variances_cached(
     // Fold the dropped rows back in and solve the all-rows system (the
     // paper's rows are only "redundant" when enough of them survive).
     let all = vec![true; aug.num_rows()];
-    cache.sync(aug, nc, &all);
+    cache.sync(aug.matrix(), nc, &all);
     for (((_, links), &sigma), &keep) in aug.iter().zip(sigmas.iter()).zip(new_kept.iter()) {
         if keep {
             continue;

@@ -37,6 +37,7 @@ pub mod pivoted_qr;
 pub mod qr;
 pub mod rank;
 pub mod sparse;
+pub mod sparse_qr;
 pub mod triangular;
 pub mod vector;
 
@@ -48,6 +49,7 @@ pub use pivoted_qr::PivotedQr;
 pub use qr::Qr;
 pub use rank::{rank, rank_with_tol, DEFAULT_RANK_TOL};
 pub use sparse::CsrMatrix;
+pub use sparse_qr::SparseQr;
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -214,6 +214,165 @@ impl CsrMatrix {
         }
         m
     }
+
+    /// The transpose `Aᵀ` as a new CSR matrix (counting sort over the
+    /// column indices; `O(nnz + rows + cols)`).
+    pub fn transpose(&self) -> CsrMatrix {
+        let counts = self.col_counts();
+        let mut indptr = Vec::with_capacity(self.cols + 1);
+        indptr.push(0usize);
+        for &c in &counts {
+            indptr.push(indptr.last().unwrap() + c);
+        }
+        let mut cursor = indptr[..self.cols].to_vec();
+        let mut indices = vec![0usize; self.nnz()];
+        let mut values = vec![0.0; self.nnz()];
+        for i in 0..self.rows {
+            for (j, v) in self.row(i) {
+                let pos = cursor[j];
+                indices[pos] = i;
+                values[pos] = v;
+                cursor[j] += 1;
+            }
+        }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Number of stored nonzeros per column.
+    pub fn col_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.cols];
+        for &j in &self.indices {
+            counts[j] += 1;
+        }
+        counts
+    }
+
+    /// Sparse·dense product `A B` (`A` is `m×k` sparse, `B` is `k×n`
+    /// dense).
+    ///
+    /// Each output row accumulates `v · B[j, :]` over the sparse row's
+    /// nonzeros in ascending column order — the same accumulation order
+    /// as [`Matrix::matmul_reference`] (which skips zero `a_ik`), so
+    /// the two agree bit-for-bit on finite inputs.
+    pub fn matmul_dense(&self, b: &Matrix) -> Result<Matrix> {
+        if self.cols != b.rows() {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "A is {}x{}, B is {}x{}",
+                self.rows,
+                self.cols,
+                b.rows(),
+                b.cols()
+            )));
+        }
+        let mut c = Matrix::zeros(self.rows, b.cols());
+        for i in 0..self.rows {
+            let crow = c.row_mut(i);
+            for (j, v) in self.row(i) {
+                let brow = b.row(j);
+                for (cj, bj) in crow.iter_mut().zip(brow.iter()) {
+                    *cj += v * bj;
+                }
+            }
+        }
+        Ok(c)
+    }
+
+    /// The Gram matrix `AᵀA` as a sparse matrix.
+    ///
+    /// Row `j` of the result is assembled by scattering the rows of `A`
+    /// that carry a nonzero in column `j` (found through the transpose)
+    /// into a dense scratch accumulator, so the cost is
+    /// `O(Σ_j Σ_{i ∈ col j} nnz(row_i))` — proportional to the Gram
+    /// fill, not to `n_c²`. Entries that cancel to exactly zero are
+    /// dropped, like [`CsrBuilder`] does.
+    pub fn gram_csr(&self) -> CsrMatrix {
+        let t = self.transpose();
+        let n = self.cols;
+        let mut indptr = Vec::with_capacity(n + 1);
+        indptr.push(0usize);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        let mut scratch = vec![0.0; n];
+        let mut touched = vec![false; n];
+        let mut pattern: Vec<usize> = Vec::new();
+        for j in 0..n {
+            for (i, vij) in t.row(j) {
+                for (k, vik) in self.row(i) {
+                    if !touched[k] {
+                        touched[k] = true;
+                        pattern.push(k);
+                    }
+                    scratch[k] += vij * vik;
+                }
+            }
+            pattern.sort_unstable();
+            for &k in &pattern {
+                if scratch[k] != 0.0 {
+                    indices.push(k);
+                    values.push(scratch[k]);
+                }
+                scratch[k] = 0.0;
+                touched[k] = false;
+            }
+            pattern.clear();
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// Restricts the matrix to the given columns (strictly ascending
+    /// indices), renumbering them `0..kept.len()` in order.
+    ///
+    /// # Panics
+    /// Panics if `kept` is not strictly ascending or indexes out of
+    /// range.
+    pub fn select_columns(&self, kept: &[usize]) -> CsrMatrix {
+        assert!(
+            kept.windows(2).all(|w| w[0] < w[1]),
+            "kept columns must be strictly ascending"
+        );
+        if let Some(&last) = kept.last() {
+            assert!(last < self.cols, "column {last} out of range for {} columns", self.cols);
+        }
+        // Old column → new column (usize::MAX = dropped).
+        let mut remap = vec![usize::MAX; self.cols];
+        for (new, &old) in kept.iter().enumerate() {
+            remap[old] = new;
+        }
+        let mut indptr = Vec::with_capacity(self.rows + 1);
+        indptr.push(0usize);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..self.rows {
+            for (j, v) in self.row(i) {
+                let nj = remap[j];
+                if nj != usize::MAX {
+                    indices.push(nj);
+                    values.push(v);
+                }
+            }
+            indptr.push(indices.len());
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: kept.len(),
+            indptr,
+            indices,
+            values,
+        }
+    }
 }
 
 #[cfg(test)]

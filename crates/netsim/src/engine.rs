@@ -109,17 +109,11 @@ pub fn simulate_snapshot<R: Rng>(
 
     let n_paths = red.num_paths();
     let mut path_received = vec![0u32; n_paths];
-    // Flattened CSR path → links table, hoisted out of the round loop:
-    // the per-round walk streams one contiguous `u32` array instead of
-    // re-resolving `path_links` through the routing matrix every round.
-    let mut offsets: Vec<usize> = Vec::with_capacity(n_paths + 1);
-    let mut flat_links: Vec<u32> = Vec::new();
-    offsets.push(0);
-    for i in 0..n_paths {
-        let links = red.path_links(losstomo_topology::PathId(i as u32));
-        flat_links.extend(links.iter().map(|&k| k as u32));
-        offsets.push(flat_links.len());
-    }
+    // The shared `RoutingMatrix` *is* the flat CSR path→links table the
+    // per-round walk wants: each row is a contiguous slice of one
+    // shared buffer, so streaming `routing.iter()` touches the same
+    // sequential memory the engine used to copy into its own table.
+    let routing = &red.matrix;
     match cfg.advance {
         ChainAdvance::PerRound => {
             // One transition per link per round; every packet of the
@@ -132,8 +126,8 @@ pub fn simulate_snapshot<R: Rng>(
             // path delivers its probe and link `k` sees exactly one
             // arrival per traversing path.
             let mut arrivals_per_round = vec![0u64; n_links];
-            for &k in &flat_links {
-                arrivals_per_round[k as usize] += 1;
+            for &k in routing.links_flat() {
+                arrivals_per_round[k] += 1;
             }
             let mut good = vec![true; n_links];
             for _round in 0..cfg.probes_per_snapshot {
@@ -151,10 +145,9 @@ pub fn simulate_snapshot<R: Rng>(
                     }
                     continue;
                 }
-                for (i, received) in path_received.iter_mut().enumerate() {
+                for (links, received) in routing.iter().zip(path_received.iter_mut()) {
                     let mut survived = true;
-                    for &k in &flat_links[offsets[i]..offsets[i + 1]] {
-                        let k = k as usize;
+                    for &k in links {
                         truth[k].arrivals += 1;
                         if !good[k] {
                             truth[k].drops += 1;
@@ -174,10 +167,9 @@ pub fn simulate_snapshot<R: Rng>(
             // arrival (no lossless fast path: every arrival must
             // advance its link's chain).
             for _round in 0..cfg.probes_per_snapshot {
-                for (i, received) in path_received.iter_mut().enumerate() {
+                for (links, received) in routing.iter().zip(path_received.iter_mut()) {
                     let mut survived = true;
-                    for &k in &flat_links[offsets[i]..offsets[i + 1]] {
-                        let k = k as usize;
+                    for &k in links {
                         truth[k].arrivals += 1;
                         if !processes[k].packet_survives(rng) {
                             truth[k].drops += 1;

@@ -19,8 +19,8 @@
 //!    pass 2 makes the guarantee unconditional on arbitrary meshes.
 
 use crate::graph::{Graph, LinkId};
+use crate::matrix::RoutingMatrix;
 use crate::path::{PathId, PathSet};
-use losstomo_linalg::sparse::{CsrBuilder, CsrMatrix};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -56,7 +56,7 @@ pub struct ReducedTopology {
     pub link_to_virtual: HashMap<LinkId, VirtualLinkId>,
     /// The reduced routing matrix `R` (rows = paths in [`PathSet`] order,
     /// columns = virtual links). Binary, all columns distinct & nonzero.
-    pub matrix: CsrMatrix,
+    pub matrix: RoutingMatrix,
 }
 
 impl ReducedTopology {
@@ -72,7 +72,7 @@ impl ReducedTopology {
 
     /// The virtual links traversed by path `p`, ascending.
     pub fn path_links(&self, p: PathId) -> &[usize] {
-        self.matrix.row_indices(p.index())
+        self.matrix.row(p.index())
     }
 
     /// Paths traversing each virtual link (inverted index), computed on
@@ -80,7 +80,7 @@ impl ReducedTopology {
     pub fn paths_per_link(&self) -> Vec<Vec<PathId>> {
         let mut idx = vec![Vec::new(); self.num_links()];
         for i in 0..self.num_paths() {
-            for &j in self.matrix.row_indices(i) {
+            for &j in self.matrix.row(i) {
                 idx[j].push(PathId(i as u32));
             }
         }
@@ -219,19 +219,13 @@ pub fn reduce(g: &Graph, paths: &PathSet) -> ReducedTopology {
         }
     }
 
-    // Build the routing matrix.
-    let mut builder = CsrBuilder::new(virtual_links.len());
+    // Build the routing matrix (the builder sorts and dedups each row).
+    let mut builder = RoutingMatrix::builder(virtual_links.len());
+    let mut cols: Vec<usize> = Vec::new();
     for (_, p) in paths.iter() {
-        let mut cols: Vec<usize> = p
-            .links
-            .iter()
-            .map(|l| link_to_virtual[l].index())
-            .collect();
-        cols.sort_unstable();
-        cols.dedup();
-        builder
-            .push_binary_row(&cols)
-            .expect("virtual link indices are in range by construction");
+        cols.clear();
+        cols.extend(p.links.iter().map(|l| link_to_virtual[l].index()));
+        builder.push_row(&cols);
     }
 
     ReducedTopology {

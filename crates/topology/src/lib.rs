@@ -9,7 +9,9 @@
 //!   (deterministic per-beacon trees, satisfying Assumption T.2 within
 //!   each beacon);
 //! * [`alias`] reduction grouping indistinguishable links into virtual
-//!   links and building the reduced routing matrix `R`;
+//!   links and building the reduced routing matrix `R` — a
+//!   [`matrix::RoutingMatrix`], the workspace's one shared path→link
+//!   CSR representation;
 //! * route-[`flutter`] detection and removal (Assumption T.2 across
 //!   beacons);
 //! * BRITE-like topology [`gen`]erators (tree, Waxman, Barabási–Albert,
@@ -25,10 +27,12 @@ pub mod fixtures;
 pub mod flutter;
 pub mod gen;
 pub mod graph;
+pub mod matrix;
 pub mod path;
 pub mod routing;
 
 pub use alias::{reduce, ReducedTopology, VirtualLink, VirtualLinkId};
+pub use matrix::{RoutingMatrix, RoutingMatrixBuilder};
 pub use gen::GeneratedTopology;
 pub use graph::{Graph, Link, LinkId, Node, NodeId, NodeKind};
 pub use path::{Path, PathId, PathSet};

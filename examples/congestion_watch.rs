@@ -25,9 +25,8 @@ fn main() {
         },
         &mut rng,
     );
-    let paths = compute_paths(&topo.graph, &topo.beacons, &topo.destinations);
-    let red = reduce(&topo.graph, &paths);
-    let aug = AugmentedSystem::build(&red);
+    let setup = losstomo::experiment_setup(&topo.graph, &topo.beacons, &topo.destinations);
+    let (red, aug) = (setup.red, setup.aug);
     println!(
         "watching {} links through {} paths\n",
         red.num_links(),

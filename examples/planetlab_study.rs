@@ -38,10 +38,12 @@ fn main() {
     );
 
     // --- 1. traceroute discovery with realistic errors -----------------
-    let true_paths = compute_paths(&topo.graph, &topo.beacons, &topo.destinations);
+    // The *true* measurement system, via the shared setup helper; the
+    // observed system is rebuilt below from the traceroute output.
+    let setup = losstomo::experiment_setup(&topo.graph, &topo.beacons, &topo.destinations);
     let obs = losstomo::netsim::observe(
         &topo.graph,
-        &true_paths,
+        &setup.paths,
         &TracerouteConfig::default(),
         &mut rng,
     );
@@ -51,7 +53,7 @@ fn main() {
         obs.anonymous_nodes,
         obs.interface_nodes
     );
-    let true_red = reduce(&topo.graph, &true_paths);
+    let true_red = &setup.red;
     let obs_red = reduce(&obs.graph, &obs.paths);
     println!(
         "true system: {} links; observed system: {} links",
@@ -68,7 +70,7 @@ fn main() {
         &mut rng,
     );
     let ms = simulate_run(
-        &true_red,
+        true_red,
         &mut scenario,
         &ProbeConfig::default(),
         m + 1,

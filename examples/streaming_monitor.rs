@@ -42,8 +42,8 @@ fn main() {
         },
         &mut rng,
     );
-    let paths = compute_paths(&topo.graph, &topo.beacons, &topo.destinations);
-    let red = reduce(&topo.graph, &paths);
+    let setup = losstomo::experiment_setup(&topo.graph, &topo.beacons, &topo.destinations);
+    let red = setup.red;
     println!(
         "monitoring {} paths x {} virtual links, {} snapshots",
         red.num_paths(),

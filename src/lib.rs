@@ -9,8 +9,8 @@
 //! This facade crate re-exports the four member crates:
 //!
 //! * [`linalg`] — dense/sparse linear algebra (Householder QR, pivoted
-//!   QR, Givens row/factor updates, Cholesky, least squares, rank
-//!   estimation);
+//!   QR, the sparse rank-revealing [`linalg::SparseQr`], Givens
+//!   row/factor updates, Cholesky, least squares, rank estimation);
 //! * [`topology`] — graph model, BRITE-like generators, routing, alias
 //!   reduction, routing matrices, flutter filtering;
 //! * [`netsim`] — Gilbert/Bernoulli loss simulation, LLRD models, the
@@ -112,6 +112,46 @@ pub use losstomo_core as core;
 pub use losstomo_linalg as linalg;
 pub use losstomo_netsim as netsim;
 pub use losstomo_topology as topology;
+
+/// A prepared measurement system: the routed paths, the alias-reduced
+/// topology (with the shared `RoutingMatrix`), and the augmented
+/// moment system of Definition 1.
+///
+/// Built by [`experiment_setup`]; this is the boilerplate every
+/// experiment, example and monitor needs before it can simulate or
+/// infer anything.
+#[derive(Debug, Clone)]
+pub struct ExperimentSetup {
+    /// One path per reachable beacon→destination pair, in routing-matrix
+    /// row order.
+    pub paths: topology::PathSet,
+    /// The reduced measurement system `R`.
+    pub red: topology::ReducedTopology,
+    /// The augmented system `A` (Phase-1 moment rows).
+    pub aug: core::AugmentedSystem,
+}
+
+/// Routes every beacon→destination pair, alias-reduces the covered
+/// links into the measurement system `R`, and builds the augmented
+/// system `A` — the setup sequence shared by the examples and the
+/// experiment binaries.
+///
+/// ```
+/// let fig = losstomo::topology::fixtures::figure1();
+/// let setup = losstomo::experiment_setup(&fig.graph, &fig.beacons, &fig.destinations);
+/// assert_eq!(setup.red.num_paths(), setup.paths.len());
+/// assert_eq!(setup.aug.num_links(), setup.red.num_links());
+/// ```
+pub fn experiment_setup(
+    graph: &topology::Graph,
+    beacons: &[topology::NodeId],
+    destinations: &[topology::NodeId],
+) -> ExperimentSetup {
+    let paths = topology::compute_paths(graph, beacons, destinations);
+    let red = topology::reduce(graph, &paths);
+    let aug = core::AugmentedSystem::build(&red);
+    ExperimentSetup { paths, red, aug }
+}
 
 /// One-stop imports for the common pipeline.
 pub mod prelude {
