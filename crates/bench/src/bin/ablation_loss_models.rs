@@ -7,9 +7,9 @@
 //!
 //! Flags: `--scale quick|paper`, `--runs N`.
 
-use losstomo_bench::{pct, runs_from_args, tree_topology, Scale};
+use losstomo_bench::{pct, run_grid, runs_from_args, tree_topology, GridCase, Scale};
 use losstomo_core::metrics::summarize;
-use losstomo_core::{run_many, ExperimentConfig, RateErrors};
+use losstomo_core::{ExperimentConfig, RateErrors};
 use losstomo_netsim::{LossModel, LossProcessKind, ProbeConfig};
 
 fn main() {
@@ -22,50 +22,50 @@ fn main() {
         runs
     );
     println!();
+
+    let mut cases = Vec::new();
+    for model in [LossModel::Llrd1, LossModel::Llrd2] {
+        for process in [LossProcessKind::Gilbert, LossProcessKind::Bernoulli] {
+            cases.push(GridCase::new(
+                format!("{:<12} {:<12}", format!("{model:?}"), format!("{process:?}")),
+                ExperimentConfig {
+                    snapshots: 50,
+                    probe: ProbeConfig {
+                        loss_model: model,
+                        process,
+                        ..ProbeConfig::default()
+                    },
+                    seed: 10_000,
+                    ..ExperimentConfig::default()
+                },
+            ));
+        }
+    }
+    let outcomes = run_grid(&prep.red, cases, runs);
+
+    // DR/FPR come from the shared grid runner; the per-link rate-error
+    // medians are this study's extra columns.
     let header = format!(
-        "{:<12} {:<12} {:>8} {:>8} {:>10} {:>10}",
-        "model", "process", "DR", "FPR", "EF median", "AE median"
+        "{:<25} {:>8} {:>8} {:>10} {:>10}",
+        "model        process", "DR", "FPR", "EF median", "AE median"
     );
     println!("{header}");
     losstomo_bench::rule(&header);
-
-    for model in [LossModel::Llrd1, LossModel::Llrd2] {
-        for process in [LossProcessKind::Gilbert, LossProcessKind::Bernoulli] {
-            let cfg = ExperimentConfig {
-                snapshots: 50,
-                probe: ProbeConfig {
-                    loss_model: model,
-                    process,
-                    ..ProbeConfig::default()
-                },
-                seed: 10_000,
-                ..ExperimentConfig::default()
-            };
-            let results = run_many(&prep.red, &cfg, runs);
-            let ok: Vec<_> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
-            let n = ok.len() as f64;
-            let dr = ok.iter().map(|r| r.location.detection_rate).sum::<f64>() / n;
-            let fpr = ok
-                .iter()
-                .map(|r| r.location.false_positive_rate)
-                .sum::<f64>()
-                / n;
-            let mut errs = RateErrors::default();
-            for r in &ok {
-                errs.extend(&r.errors);
-            }
-            let ef = summarize(&errs.error_factors).expect("nonempty");
-            let ae = summarize(&errs.absolute_errors).expect("nonempty");
-            println!(
-                "{:<12} {:<12} {:>8} {:>8} {:>10.3} {:>10.5}",
-                format!("{model:?}"),
-                format!("{process:?}"),
-                pct(dr),
-                pct(fpr),
-                ef.median,
-                ae.median
-            );
+    for o in &outcomes {
+        let mut errs = RateErrors::default();
+        for r in &o.results {
+            errs.extend(&r.errors);
         }
+        let ef = summarize(&errs.error_factors).expect("nonempty");
+        let ae = summarize(&errs.absolute_errors).expect("nonempty");
+        println!(
+            "{:<25} {:>8} {:>8} {:>10.3} {:>10.5}",
+            o.label,
+            pct(o.mean_dr),
+            pct(o.mean_fpr),
+            ef.median,
+            ae.median
+        );
     }
     println!();
     println!("Paper's claim: differences between the models/processes are insignificant.");

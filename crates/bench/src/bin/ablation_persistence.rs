@@ -8,8 +8,10 @@
 //!
 //! Flags: `--scale quick|paper`, `--runs N`.
 
-use losstomo_bench::{pct, runs_from_args, tree_topology, Scale};
-use losstomo_core::{run_many, ExperimentConfig};
+use losstomo_bench::{
+    print_grid_dr_fpr, run_grid, runs_from_args, tree_topology, GridCase, Scale,
+};
+use losstomo_core::ExperimentConfig;
 use losstomo_netsim::CongestionDynamics;
 
 fn main() {
@@ -21,11 +23,8 @@ fn main() {
         runs
     );
     println!();
-    let header = format!("{:<26} {:>8} {:>8}", "dynamics", "DR", "FPR");
-    println!("{header}");
-    losstomo_bench::rule(&header);
 
-    let cases: Vec<(&str, CongestionDynamics)> = vec![
+    let dynamics_grid: Vec<(&str, CongestionDynamics)> = vec![
         ("fixed (paper)", CongestionDynamics::Fixed),
         (
             "markov stay=0.9",
@@ -41,24 +40,22 @@ fn main() {
         ),
         ("iid redraw", CongestionDynamics::Redraw),
     ];
-    for (label, dynamics) in cases {
-        let cfg = ExperimentConfig {
-            snapshots: 50,
-            dynamics,
-            seed: 11_000,
-            ..ExperimentConfig::default()
-        };
-        let results = run_many(&prep.red, &cfg, runs);
-        let ok: Vec<_> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
-        let n = ok.len() as f64;
-        let dr = ok.iter().map(|r| r.location.detection_rate).sum::<f64>() / n;
-        let fpr = ok
-            .iter()
-            .map(|r| r.location.false_positive_rate)
-            .sum::<f64>()
-            / n;
-        println!("{:<26} {:>8} {:>8}", label, pct(dr), pct(fpr));
-    }
+    let cases: Vec<GridCase> = dynamics_grid
+        .into_iter()
+        .map(|(label, dynamics)| {
+            GridCase::new(
+                label,
+                ExperimentConfig {
+                    snapshots: 50,
+                    dynamics,
+                    seed: 11_000,
+                    ..ExperimentConfig::default()
+                },
+            )
+        })
+        .collect();
+    print_grid_dr_fpr("dynamics", &run_grid(&prep.red, cases, runs));
+
     println!();
     println!("Expected: accuracy degrades as persistence drops — with iid redraw all");
     println!("links look alike to Phase 1 and the variance ordering stops discriminating.");

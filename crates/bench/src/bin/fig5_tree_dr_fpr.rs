@@ -9,8 +9,10 @@
 //! Flags: `--scale quick|paper`, `--runs N` (default 10),
 //! `--m-values 10,20,...`.
 
-use losstomo_bench::{flag_value, pct, runs_from_args, tree_topology, Scale};
-use losstomo_core::{run_many, ExperimentConfig};
+use losstomo_bench::{
+    flag_value, pct, run_grid, runs_from_args, tree_topology, GridCase, Scale,
+};
+use losstomo_core::ExperimentConfig;
 
 fn main() {
     let scale = Scale::from_args();
@@ -28,44 +30,39 @@ fn main() {
         runs
     );
     println!();
+
+    let cases: Vec<GridCase> = m_values
+        .iter()
+        .map(|&m| {
+            GridCase::new(
+                m.to_string(),
+                ExperimentConfig {
+                    snapshots: m,
+                    run_scfs: true,
+                    seed: 1000,
+                    ..ExperimentConfig::default()
+                },
+            )
+        })
+        .collect();
+    let outcomes = run_grid(&prep.red, cases, runs);
+
+    // Four metric columns (LIA + the SCFS baseline), so the rows are
+    // formatted here; the sweep itself is the shared grid runner.
     let header = format!(
         "{:>6} {:>10} {:>10} {:>12} {:>12}",
         "m", "LIA DR", "LIA FPR", "SCFS DR", "SCFS FPR"
     );
     println!("{header}");
     losstomo_bench::rule(&header);
-
-    for &m in &m_values {
-        let cfg = ExperimentConfig {
-            snapshots: m,
-            run_scfs: true,
-            seed: 1000,
-            ..ExperimentConfig::default()
-        };
-        let results = run_many(&prep.red, &cfg, runs);
-        let ok: Vec<_> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
-        let n = ok.len() as f64;
-        let lia_dr = ok.iter().map(|r| r.location.detection_rate).sum::<f64>() / n;
-        let lia_fpr = ok
-            .iter()
-            .map(|r| r.location.false_positive_rate)
-            .sum::<f64>()
-            / n;
-        let scfs_dr = ok
-            .iter()
-            .filter_map(|r| r.scfs_location.map(|l| l.detection_rate))
-            .sum::<f64>()
-            / n;
-        let scfs_fpr = ok
-            .iter()
-            .filter_map(|r| r.scfs_location.map(|l| l.false_positive_rate))
-            .sum::<f64>()
-            / n;
+    for o in &outcomes {
+        let scfs_dr = o.mean_of(|r| r.scfs_location.map(|l| l.detection_rate));
+        let scfs_fpr = o.mean_of(|r| r.scfs_location.map(|l| l.false_positive_rate));
         println!(
             "{:>6} {:>10} {:>10} {:>12} {:>12}",
-            m,
-            pct(lia_dr),
-            pct(lia_fpr),
+            o.label,
+            pct(o.mean_dr),
+            pct(o.mean_fpr),
             pct(scfs_dr),
             pct(scfs_fpr)
         );

@@ -8,8 +8,10 @@
 //!
 //! Flags: `--scale quick|paper`, `--runs N`.
 
-use losstomo_bench::{pct, planetlab_topology, runs_from_args, Scale};
-use losstomo_core::{run_many, ExperimentConfig};
+use losstomo_bench::{
+    pct, planetlab_topology, print_grid_dr_fpr, run_grid, runs_from_args, GridCase, Scale,
+};
+use losstomo_core::ExperimentConfig;
 use losstomo_netsim::ProbeConfig;
 
 fn main() {
@@ -25,54 +27,43 @@ fn main() {
 
     println!();
     println!("(a) varying the percentage of congested links p (S = 1000)");
-    let header = format!("{:>8} {:>10} {:>10}", "p", "DR", "FPR");
-    println!("{header}");
-    losstomo_bench::rule(&header);
-    for p in [0.05, 0.10, 0.15, 0.20, 0.25] {
-        let cfg = ExperimentConfig {
-            p_congested: p,
-            snapshots: 50,
-            seed: 5000,
-            ..ExperimentConfig::default()
-        };
-        let results = run_many(&prep.red, &cfg, runs);
-        let ok: Vec<_> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
-        let n = ok.len() as f64;
-        let dr = ok.iter().map(|r| r.location.detection_rate).sum::<f64>() / n;
-        let fpr = ok
-            .iter()
-            .map(|r| r.location.false_positive_rate)
-            .sum::<f64>()
-            / n;
-        println!("{:>8} {:>10} {:>10}", pct(p), pct(dr), pct(fpr));
-    }
+    let p_cases: Vec<GridCase> = [0.05, 0.10, 0.15, 0.20, 0.25]
+        .into_iter()
+        .map(|p| {
+            GridCase::new(
+                pct(p),
+                ExperimentConfig {
+                    p_congested: p,
+                    snapshots: 50,
+                    seed: 5000,
+                    ..ExperimentConfig::default()
+                },
+            )
+        })
+        .collect();
+    print_grid_dr_fpr("p", &run_grid(&prep.red, p_cases, runs));
 
     println!();
     println!("(b) varying the number of probes per snapshot S (p = 10%)");
-    let header = format!("{:>8} {:>10} {:>10}", "S", "DR", "FPR");
-    println!("{header}");
-    losstomo_bench::rule(&header);
-    for s in [50u32, 200, 400, 600, 800, 1000] {
-        let cfg = ExperimentConfig {
-            snapshots: 50,
-            probe: ProbeConfig {
-                probes_per_snapshot: s,
-                ..ProbeConfig::default()
-            },
-            seed: 6000,
-            ..ExperimentConfig::default()
-        };
-        let results = run_many(&prep.red, &cfg, runs);
-        let ok: Vec<_> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
-        let n = ok.len() as f64;
-        let dr = ok.iter().map(|r| r.location.detection_rate).sum::<f64>() / n;
-        let fpr = ok
-            .iter()
-            .map(|r| r.location.false_positive_rate)
-            .sum::<f64>()
-            / n;
-        println!("{:>8} {:>10} {:>10}", s, pct(dr), pct(fpr));
-    }
+    let s_cases: Vec<GridCase> = [50u32, 200, 400, 600, 800, 1000]
+        .into_iter()
+        .map(|s| {
+            GridCase::new(
+                s.to_string(),
+                ExperimentConfig {
+                    snapshots: 50,
+                    probe: ProbeConfig {
+                        probes_per_snapshot: s,
+                        ..ProbeConfig::default()
+                    },
+                    seed: 6000,
+                    ..ExperimentConfig::default()
+                },
+            )
+        })
+        .collect();
+    print_grid_dr_fpr("S", &run_grid(&prep.red, s_cases, runs));
+
     println!();
     println!("Paper shape: accuracy degrades as p grows; the impact of smaller S is less severe.");
 }

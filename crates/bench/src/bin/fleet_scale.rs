@@ -1,0 +1,391 @@
+//! fleet_scale — the multi-tenant fleet layer: allocation-reuse refresh
+//! latency and tenant-throughput scaling.
+//!
+//! Two measurements, one report (`BENCH_fleet.json`):
+//!
+//! 1. **Refresh hot path** on the paper-scale tree: one
+//!    `OnlineEstimator` running the reusable refresh workspace
+//!    (`ScratchMode::Reuse` — recycled covariance replay, Gram
+//!    expansion, SPD permutation + Cholesky factor, Phase-2 factor
+//!    buffers) vs an identical estimator reallocating everything per
+//!    refresh (`ScratchMode::AllocPerRefresh`, the historical
+//!    behaviour). Both ingest the same snapshots and are asserted
+//!    **bit-identical**; p50/p99 per-refresh latency and the p50
+//!    speedup are recorded (≥ 1.3× gated at paper scale).
+//! 2. **Fleet scaling**: a fleet of independent tree tenants driven
+//!    round-robin, drained with 1, 2, 4, … worker threads (the
+//!    `LOSSTOMO_THREADS`-style sweep, set per run via
+//!    `FleetConfig::workers`). Records tenants × snapshots/sec and the
+//!    speedup over the serial drain.
+//!
+//! Flags: `--scale quick|paper`, `--out PATH`, `--tenants N`,
+//! `--snapshots M`.
+
+use losstomo_bench::{bench_meta, flag_value, tree_topology, write_bench_report, BenchMeta, Scale};
+use losstomo_core::{OnlineConfig, OnlineEstimator, ScratchMode};
+use losstomo_fleet::{Fleet, FleetConfig, TenantId};
+use losstomo_netsim::{
+    simulate_run, simulate_run_batch, CongestionDynamics, CongestionScenario, ProbeConfig,
+    Snapshot,
+};
+use losstomo_topology::gen::tree::{self, TreeParams};
+use losstomo_topology::ReducedTopology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Reuse-vs-alloc refresh comparison on the paper tree.
+#[derive(Debug, Serialize, Deserialize)]
+struct RefreshReport {
+    topology: String,
+    paths: usize,
+    links: usize,
+    aug_rows: usize,
+    warmup_snapshots: usize,
+    measured_refreshes: usize,
+    /// Per-refresh latency of the reused workspace, milliseconds.
+    reuse_p50_ms: f64,
+    /// p99 (max of the measured refreshes at these sample counts).
+    reuse_p99_ms: f64,
+    /// Per-refresh latency of the reallocating baseline, ms.
+    alloc_p50_ms: f64,
+    /// p99 of the reallocating baseline, ms.
+    alloc_p99_ms: f64,
+    /// `alloc_p50_ms / reuse_p50_ms`.
+    speedup_p50: f64,
+    /// Reuse and alloc estimates agree bit-for-bit on every refresh.
+    bitwise_identical: bool,
+}
+
+/// One worker-count point of the throughput sweep.
+#[derive(Debug, Serialize, Deserialize)]
+struct ScalingPoint {
+    workers: usize,
+    wall_ms: f64,
+    snapshots_per_sec: f64,
+    /// Throughput relative to the 1-worker drain.
+    speedup_vs_serial: f64,
+}
+
+/// The fleet throughput sweep.
+#[derive(Debug, Serialize, Deserialize)]
+struct ScalingReport {
+    tenants: usize,
+    nodes_per_tenant: usize,
+    snapshots_per_tenant: usize,
+    points: Vec<ScalingPoint>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct FleetBenchReport {
+    meta: BenchMeta,
+    refresh: RefreshReport,
+    scaling: ScalingReport,
+}
+
+fn ms(t: Duration) -> f64 {
+    t.as_secs_f64() * 1e3
+}
+
+fn percentile(samples: &mut [Duration], q: f64) -> f64 {
+    samples.sort_unstable();
+    let idx = ((samples.len() as f64 - 1.0) * q).round() as usize;
+    ms(samples[idx])
+}
+
+/// Refresh-latency comparison: both estimators ingest the same stream
+/// on a huge cadence (so ingest never auto-refreshes), then each
+/// measured snapshot triggers one explicitly timed `refresh()`.
+fn refresh_comparison(scale: Scale) -> RefreshReport {
+    let prep = tree_topology(scale, 11);
+    let red = &prep.red;
+    let (warmup, measured) = match scale {
+        Scale::Paper => (50, 30),
+        Scale::Quick => (12, 6),
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let scenario =
+        CongestionScenario::draw(red.num_links(), 0.1, CongestionDynamics::Fixed, &mut rng);
+    let probe = ProbeConfig::default();
+    let all = simulate_run_batch(red, &scenario, &probe, warmup + measured, &[1])
+        .into_iter()
+        .next()
+        .expect("one run requested");
+    let aug_rows = losstomo_core::AugmentedSystem::build(red).num_rows();
+    println!(
+        "refresh hot path: {} — {} paths, {} links, {} augmented rows",
+        prep.name,
+        red.num_paths(),
+        red.num_links(),
+        aug_rows
+    );
+
+    // Manual-cadence configs: identical numerics, different workspaces.
+    let manual = OnlineConfig {
+        refresh_every: usize::MAX,
+        ..OnlineConfig::default()
+    };
+    let mut reuse = OnlineEstimator::new(
+        red,
+        OnlineConfig {
+            scratch: ScratchMode::Reuse,
+            ..manual
+        },
+    );
+    let mut alloc = OnlineEstimator::new(
+        red,
+        OnlineConfig {
+            scratch: ScratchMode::AllocPerRefresh,
+            ..manual
+        },
+    );
+    for snap in &all.snapshots[..warmup] {
+        reuse.ingest(snap).expect("warmup");
+        alloc.ingest(snap).expect("warmup");
+    }
+    // Put both on a warmed steady state before timing.
+    reuse.refresh().expect("warm refresh");
+    alloc.refresh().expect("warm refresh");
+
+    let header = format!("{:<10} {:>12} {:>12} {:>9}", "snapshot", "reuse", "alloc", "speedup");
+    println!("{header}");
+    losstomo_bench::rule(&header);
+    let mut reuse_samples = Vec::new();
+    let mut alloc_samples = Vec::new();
+    let mut bitwise_identical = true;
+    for (t, snap) in all.snapshots[warmup..].iter().enumerate() {
+        reuse.ingest(snap).expect("ingest");
+        alloc.ingest(snap).expect("ingest");
+        let t0 = Instant::now();
+        reuse.refresh().expect("reuse refresh");
+        let dt_reuse = t0.elapsed();
+        let t0 = Instant::now();
+        alloc.refresh().expect("alloc refresh");
+        let dt_alloc = t0.elapsed();
+        bitwise_identical &= reuse.variances().expect("warm").v == alloc.variances().expect("warm").v
+            && reuse.kept_columns() == alloc.kept_columns();
+        println!(
+            "{:<10} {:>10.2}ms {:>10.2}ms {:>8.2}x",
+            warmup + t,
+            ms(dt_reuse),
+            ms(dt_alloc),
+            ms(dt_alloc) / ms(dt_reuse).max(1e-9)
+        );
+        reuse_samples.push(dt_reuse);
+        alloc_samples.push(dt_alloc);
+    }
+    let reuse_p50 = percentile(&mut reuse_samples, 0.5);
+    let reuse_p99 = percentile(&mut reuse_samples, 0.99);
+    let alloc_p50 = percentile(&mut alloc_samples, 0.5);
+    let alloc_p99 = percentile(&mut alloc_samples, 0.99);
+    let speedup = alloc_p50 / reuse_p50.max(1e-9);
+    println!();
+    println!(
+        "per-refresh p50: reuse {reuse_p50:.2}ms vs alloc {alloc_p50:.2}ms ({speedup:.2}x), \
+         p99 {reuse_p99:.2}ms vs {alloc_p99:.2}ms"
+    );
+    assert!(
+        bitwise_identical,
+        "scratch reuse changed the estimates — the exactness contract is broken"
+    );
+    if scale == Scale::Paper {
+        assert!(
+            speedup >= 1.3,
+            "reused scratch must be ≥1.3x the allocating refresh, got {speedup:.2}x"
+        );
+    }
+    RefreshReport {
+        topology: prep.name.to_string(),
+        paths: red.num_paths(),
+        links: red.num_links(),
+        aug_rows,
+        warmup_snapshots: warmup,
+        measured_refreshes: measured,
+        reuse_p50_ms: reuse_p50,
+        reuse_p99_ms: reuse_p99,
+        alloc_p50_ms: alloc_p50,
+        alloc_p99_ms: alloc_p99,
+        speedup_p50: speedup,
+        bitwise_identical,
+    }
+}
+
+/// Builds the per-tenant topologies and deterministic snapshot feeds of
+/// the scaling study.
+fn tenant_fleet(
+    n_tenants: usize,
+    nodes: usize,
+    snapshots: usize,
+) -> (Vec<ReducedTopology>, Vec<Vec<Snapshot>>) {
+    let topologies: Vec<ReducedTopology> = (0..n_tenants)
+        .map(|t| {
+            let mut rng = StdRng::seed_from_u64(500 + t as u64);
+            let topo = tree::generate(
+                TreeParams {
+                    nodes,
+                    max_branching: 6,
+                },
+                &mut rng,
+            );
+            let paths = losstomo_topology::compute_paths(
+                &topo.graph,
+                &topo.beacons,
+                &topo.destinations,
+            );
+            losstomo_topology::reduce(&topo.graph, &paths)
+        })
+        .collect();
+    let feeds: Vec<Vec<Snapshot>> = topologies
+        .iter()
+        .enumerate()
+        .map(|(t, red)| {
+            let mut rng = StdRng::seed_from_u64(9000 + t as u64);
+            let mut scenario = CongestionScenario::draw(
+                red.num_links(),
+                0.1,
+                CongestionDynamics::Markov {
+                    stay_congested: 0.9,
+                },
+                &mut rng,
+            );
+            let probe = ProbeConfig {
+                probes_per_snapshot: 200,
+                ..ProbeConfig::default()
+            };
+            simulate_run(red, &mut scenario, &probe, snapshots, &mut rng).snapshots
+        })
+        .collect();
+    (topologies, feeds)
+}
+
+/// Drives one fleet (fresh estimators) through the full feed with the
+/// given worker count; returns the drain wall-clock.
+fn run_fleet_once(
+    topologies: &[ReducedTopology],
+    feeds: &[Vec<Snapshot>],
+    workers: usize,
+) -> Duration {
+    let mut fleet = Fleet::new(FleetConfig {
+        queue_capacity: feeds[0].len().max(1),
+        workers: Some(workers),
+    });
+    let ids: Vec<TenantId> = topologies
+        .iter()
+        .enumerate()
+        .map(|(t, red)| fleet.add_tenant(format!("net-{t}"), red, OnlineConfig::default()))
+        .collect();
+    let rounds = feeds[0].len();
+    let t0 = Instant::now();
+    // Cadence batches: one snapshot per tenant per round, drained per
+    // round — the arrival pattern of a shared collector tick.
+    for round in 0..rounds {
+        for (t, feed) in feeds.iter().enumerate() {
+            fleet
+                .enqueue(ids[t], feed[round].clone())
+                .expect("queue sized to the feed");
+        }
+        fleet.drain();
+    }
+    let wall = t0.elapsed();
+    for &id in &ids {
+        assert_eq!(fleet.stats(id).ingested, rounds as u64);
+        assert_eq!(fleet.stats(id).errors, 0, "{}", fleet.name(id));
+    }
+    wall
+}
+
+fn scaling_sweep(scale: Scale) -> ScalingReport {
+    let (n_tenants, nodes, snapshots) = match scale {
+        Scale::Paper => (64, 120, 24),
+        Scale::Quick => (8, 50, 8),
+    };
+    let n_tenants = flag_value("--tenants")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(n_tenants);
+    let snapshots = flag_value("--snapshots")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(snapshots);
+    println!(
+        "fleet scaling: {n_tenants} tenants × {snapshots} snapshots ({nodes}-node trees)"
+    );
+    let (topologies, feeds) = tenant_fleet(n_tenants, nodes, snapshots);
+
+    // Worker sweep: 1, 2, 4, … up to the thread policy (and tenant count).
+    let max_workers = losstomo_linalg::parallel::num_threads().min(n_tenants);
+    let mut sweep = vec![1usize];
+    while *sweep.last().expect("nonempty") * 2 <= max_workers {
+        sweep.push(sweep.last().expect("nonempty") * 2);
+    }
+    if *sweep.last().expect("nonempty") != max_workers {
+        sweep.push(max_workers);
+    }
+
+    let header = format!(
+        "{:>8} {:>12} {:>16} {:>9}",
+        "workers", "wall", "snapshots/sec", "speedup"
+    );
+    println!("{header}");
+    losstomo_bench::rule(&header);
+    let total_snapshots = (n_tenants * snapshots) as f64;
+    let mut points = Vec::new();
+    let mut serial_rate = 0.0f64;
+    for &workers in &sweep {
+        let wall = run_fleet_once(&topologies, &feeds, workers);
+        let rate = total_snapshots / wall.as_secs_f64().max(1e-9);
+        if workers == 1 {
+            serial_rate = rate;
+        }
+        let speedup = rate / serial_rate.max(1e-9);
+        println!(
+            "{:>8} {:>10.0}ms {:>16.0} {:>8.2}x",
+            workers,
+            ms(wall),
+            rate,
+            speedup
+        );
+        points.push(ScalingPoint {
+            workers,
+            wall_ms: ms(wall),
+            snapshots_per_sec: rate,
+            speedup_vs_serial: speedup,
+        });
+    }
+    if scale == Scale::Paper {
+        let best = points
+            .iter()
+            .map(|p| p.speedup_vs_serial)
+            .fold(0.0_f64, f64::max);
+        let max_workers = points.last().expect("nonempty sweep").workers;
+        if max_workers >= 4 {
+            assert!(
+                best >= 2.0,
+                "fleet throughput must scale ≥2x with {max_workers} workers, got {best:.2}x"
+            );
+        }
+    }
+    ScalingReport {
+        tenants: n_tenants,
+        nodes_per_tenant: nodes,
+        snapshots_per_tenant: snapshots,
+        points,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!(
+        "fleet_scale — allocation-reuse refresh + fleet throughput ({} scale)",
+        scale.name()
+    );
+    println!();
+    let refresh = refresh_comparison(scale);
+    println!();
+    let scaling = scaling_sweep(scale);
+    let report = FleetBenchReport {
+        meta: bench_meta("fleet_scale", scale),
+        refresh,
+        scaling,
+    };
+    write_bench_report("BENCH_fleet.json", &report);
+}

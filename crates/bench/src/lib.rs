@@ -9,7 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use losstomo_core::ExperimentConfig;
+use losstomo_core::{run_many, ExperimentConfig, ExperimentResult};
 use losstomo_topology::gen::{
     barabasi::{self, BarabasiParams},
     dimes::{self, DimesParams},
@@ -75,17 +75,159 @@ pub fn bench_meta(generated_by: &str, scale: Scale) -> BenchMeta {
 }
 
 /// Serialises `report` as pretty JSON and writes it to `--out PATH`
-/// (if given) or `<repo root>/<default_name>` — the one place that
-/// knows where benchmark artifacts land. Prints the written path.
+/// (if given), else `$LOSSTOMO_BENCH_OUT/<default_name>` (if the
+/// env var names an output directory — how CI and local sweeps keep
+/// their artifacts away from the checked-in reports), else
+/// `<repo root>/<default_name>` — the one place that knows where
+/// benchmark artifacts land. Prints the written path.
 pub fn write_bench_report<T: Serialize>(default_name: &str, report: &T) {
-    let out_path = flag_value("--out").unwrap_or_else(|| {
-        // Two levels above this crate's manifest = the repo root, so
-        // the file lands in the same place from any working directory.
-        format!("{}/../../{default_name}", env!("CARGO_MANIFEST_DIR"))
-    });
+    let out_path = flag_value("--out")
+        .or_else(|| {
+            std::env::var("LOSSTOMO_BENCH_OUT")
+                .ok()
+                .filter(|dir| !dir.is_empty())
+                .map(|dir| format!("{}/{default_name}", dir.trim_end_matches('/')))
+        })
+        .unwrap_or_else(|| {
+            // Two levels above this crate's manifest = the repo root, so
+            // the file lands in the same place from any working directory.
+            format!("{}/../../{default_name}", env!("CARGO_MANIFEST_DIR"))
+        });
     let json = serde_json::to_string_pretty(report).expect("report serialises");
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create benchmark output directory");
+        }
+    }
     std::fs::write(&out_path, json + "\n").expect("write benchmark report");
     println!("wrote {out_path}");
+}
+
+/// One cell of an experiment grid: a row label plus the experiment
+/// configuration to average over the seed sweep.
+#[derive(Debug, Clone)]
+pub struct GridCase {
+    /// Row label shown in the printed table.
+    pub label: String,
+    /// The configuration of this cell (its `seed` is the sweep base:
+    /// [`run_many`] runs seeds `seed..seed + runs`).
+    pub cfg: ExperimentConfig,
+}
+
+impl GridCase {
+    /// Builds a cell from any displayable label.
+    pub fn new(label: impl Into<String>, cfg: ExperimentConfig) -> Self {
+        GridCase {
+            label: label.into(),
+            cfg,
+        }
+    }
+}
+
+/// Aggregated outcome of one grid cell across its seed sweep.
+#[derive(Debug, Clone)]
+pub struct GridOutcome {
+    /// The cell's label.
+    pub label: String,
+    /// Mean detection rate over the successful runs.
+    pub mean_dr: f64,
+    /// Mean false-positive rate over the successful runs.
+    pub mean_fpr: f64,
+    /// Every successful run, for bins that derive extra columns.
+    pub results: Vec<ExperimentResult>,
+    /// Runs that failed (singular systems etc.) and were skipped.
+    pub failed: usize,
+}
+
+impl GridOutcome {
+    /// Mean of `f` over the runs that carry the metric (`None`s — e.g.
+    /// a baseline only some configurations request — do not dilute the
+    /// mean). 0 when no run carries it (check [`GridOutcome::failed`]).
+    pub fn mean_of(&self, f: impl Fn(&ExperimentResult) -> Option<f64>) -> f64 {
+        let (mut sum, mut count) = (0.0, 0u32);
+        for v in self.results.iter().filter_map(&f) {
+            sum += v;
+            count += 1;
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / f64::from(count)
+        }
+    }
+}
+
+/// Runs a config grid over one topology: each case is averaged over
+/// `runs` seeds via [`run_many`] (parallel, seed-ordered), failures are
+/// counted, and DR/FPR means are precomputed — the seed-sweep ×
+/// config-grid loop every table-style experiment binary used to
+/// hand-roll.
+pub fn run_grid(
+    red: &losstomo_topology::ReducedTopology,
+    cases: Vec<GridCase>,
+    runs: usize,
+) -> Vec<GridOutcome> {
+    cases
+        .into_iter()
+        .map(|case| {
+            let results = run_many(red, &case.cfg, runs);
+            let mut ok = Vec::new();
+            let mut failed = 0usize;
+            for r in results {
+                match r {
+                    Ok(r) => ok.push(r),
+                    Err(_) => failed += 1,
+                }
+            }
+            // All-failed cells report 0 (not NaN); the failure count
+            // is surfaced by `print_grid_dr_fpr` and `failed`.
+            let (mean_dr, mean_fpr) = if ok.is_empty() {
+                (0.0, 0.0)
+            } else {
+                let n = ok.len() as f64;
+                (
+                    ok.iter().map(|r| r.location.detection_rate).sum::<f64>() / n,
+                    ok.iter()
+                        .map(|r| r.location.false_positive_rate)
+                        .sum::<f64>()
+                        / n,
+                )
+            };
+            GridOutcome {
+                label: case.label,
+                mean_dr,
+                mean_fpr,
+                results: ok,
+                failed,
+            }
+        })
+        .collect()
+}
+
+/// Prints the standard `label | DR | FPR` table for a grid's outcomes
+/// (label column sized to the widest label).
+pub fn print_grid_dr_fpr(label_header: &str, outcomes: &[GridOutcome]) {
+    let width = outcomes
+        .iter()
+        .map(|o| o.label.len())
+        .chain([label_header.len()])
+        .max()
+        .unwrap_or(8);
+    let header = format!("{label_header:<width$} {:>8} {:>8}", "DR", "FPR");
+    println!("{header}");
+    rule(&header);
+    for o in outcomes {
+        if o.results.is_empty() {
+            println!("{:<width$} (all {} runs failed)", o.label, o.failed);
+            continue;
+        }
+        println!(
+            "{:<width$} {:>8} {:>8}",
+            o.label,
+            pct(o.mean_dr),
+            pct(o.mean_fpr)
+        );
+    }
 }
 
 /// A prepared topology: generator output plus the reduced routing

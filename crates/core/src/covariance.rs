@@ -29,6 +29,9 @@ pub struct CenteredMeasurements {
     dev: Vec<f64>,
     n_paths: usize,
     snapshots: usize,
+    /// Scratch: per-path means of the current window (a field so
+    /// re-centring allocates nothing).
+    means: Vec<f64>,
 }
 
 /// Pairs per chunk when fanning covariance work out to threads; large
@@ -63,35 +66,73 @@ impl CenteredMeasurements {
     /// rows in the same order and the deviations are produced by the
     /// same subtraction.
     pub fn from_row_refs(rows: &[&[f64]]) -> Self {
-        let m = rows.len();
-        assert!(m >= 2, "need at least 2 snapshots, got {m}");
-        let n_paths = rows[0].len();
-        assert!(
-            rows.iter().all(|r| r.len() == n_paths),
-            "snapshots disagree on the number of paths"
-        );
-        let mut means = vec![0.0; n_paths];
-        for row in rows {
-            for (mean, y) in means.iter_mut().zip(row.iter()) {
+        let mut centered = CenteredMeasurements::empty();
+        centered.recentre_from_refs(rows);
+        centered
+    }
+
+    /// An empty instance for workspace slots. It holds no window —
+    /// re-centre it before asking for covariances.
+    pub(crate) fn empty() -> Self {
+        CenteredMeasurements {
+            dev: Vec::new(),
+            n_paths: 0,
+            snapshots: 0,
+            means: Vec::new(),
+        }
+    }
+
+    /// Re-centres this instance over a new window of borrowed rows,
+    /// reusing the internal buffers — the in-place counterpart of
+    /// [`CenteredMeasurements::from_row_refs`] (which is a thin wrapper
+    /// over this on an empty instance). Same arithmetic, same panics,
+    /// bit-identical deviations; no allocation once the buffers have
+    /// reached `n_paths × m` capacity.
+    pub fn recentre_from_refs(&mut self, rows: &[&[f64]]) {
+        self.recentre_from_iter(rows.iter().copied());
+    }
+
+    /// [`CenteredMeasurements::recentre_from_refs`] over any re-runnable
+    /// row iterator (two passes: means, then deviations), so callers
+    /// holding rows in a ring buffer can re-centre without materialising
+    /// a slice of references. Iteration order is the window order —
+    /// means accumulate over it exactly as the batch constructor does.
+    pub fn recentre_from_iter<'a, I>(&mut self, rows: I)
+    where
+        I: Iterator<Item = &'a [f64]> + Clone,
+    {
+        let mut m = 0usize;
+        self.means.clear();
+        for row in rows.clone() {
+            if m == 0 {
+                self.means.resize(row.len(), 0.0);
+            }
+            assert_eq!(
+                row.len(),
+                self.means.len(),
+                "snapshots disagree on the number of paths"
+            );
+            m += 1;
+            for (mean, y) in self.means.iter_mut().zip(row.iter()) {
                 *mean += y;
             }
         }
-        for mean in means.iter_mut() {
+        assert!(m >= 2, "need at least 2 snapshots, got {m}");
+        let n_paths = self.means.len();
+        for mean in self.means.iter_mut() {
             *mean /= m as f64;
         }
         // Transpose into path-major order so each path's deviations are
         // one contiguous slice.
-        let mut dev = vec![0.0; n_paths * m];
-        for (l, row) in rows.iter().enumerate() {
-            for (i, (y, mean)) in row.iter().zip(means.iter()).enumerate() {
-                dev[i * m + l] = y - mean;
+        self.dev.clear();
+        self.dev.resize(n_paths * m, 0.0);
+        for (l, row) in rows.enumerate() {
+            for (i, (y, mean)) in row.iter().zip(self.means.iter()).enumerate() {
+                self.dev[i * m + l] = y - mean;
             }
         }
-        CenteredMeasurements {
-            dev,
-            n_paths,
-            snapshots: m,
-        }
+        self.n_paths = n_paths;
+        self.snapshots = m;
     }
 
     /// Number of snapshots `m`.
@@ -133,6 +174,13 @@ impl CenteredMeasurements {
         self.pair_covariances_with_threads(pairs, crate::parallel::num_threads())
     }
 
+    /// [`CenteredMeasurements::pair_covariances`] writing into a
+    /// reusable output buffer (resized and fully overwritten) instead
+    /// of allocating one per sweep. Bit-identical results.
+    pub fn pair_covariances_into(&self, pairs: &[(usize, usize)], out: &mut Vec<f64>) {
+        self.pair_covariances_with_threads_into(pairs, crate::parallel::num_threads(), out);
+    }
+
     /// [`CenteredMeasurements::pair_covariances`] with an explicit
     /// thread count (1 forces the serial path).
     pub fn pair_covariances_with_threads(
@@ -140,16 +188,30 @@ impl CenteredMeasurements {
         pairs: &[(usize, usize)],
         n_threads: usize,
     ) -> Vec<f64> {
-        let mut out = vec![0.0; pairs.len()];
+        let mut out = Vec::new();
+        self.pair_covariances_with_threads_into(pairs, n_threads, &mut out);
+        out
+    }
+
+    /// [`CenteredMeasurements::pair_covariances_with_threads`] into a
+    /// reusable output buffer.
+    pub fn pair_covariances_with_threads_into(
+        &self,
+        pairs: &[(usize, usize)],
+        n_threads: usize,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.resize(pairs.len(), 0.0);
         if pairs.is_empty() {
-            return out;
+            return;
         }
         let threads = n_threads
             .max(1)
             .min(pairs.len().div_ceil(MIN_PAIRS_PER_THREAD));
         if threads <= 1 {
-            self.pair_cov_block(pairs, &mut out);
-            return out;
+            self.pair_cov_block(pairs, out);
+            return;
         }
         let chunk = pairs.len().div_ceil(threads);
         crossbeam::scope(|scope| {
@@ -158,7 +220,6 @@ impl CenteredMeasurements {
             }
         })
         .expect("covariance worker panicked");
-        out
     }
 
     /// Computes one block of pair covariances into `out`.

@@ -75,10 +75,11 @@ pub use lia::{
 pub use metrics::{location_accuracy, LocationAccuracy, RateErrors, Summary};
 pub use scfs::{scfs_diagnose, ScfsConfig};
 pub use streaming::{
-    FactorRefresh, OnlineConfig, OnlineEstimator, OnlineUpdate, StreamingCovariance, WindowMode,
+    FactorRefresh, OnlineConfig, OnlineEstimator, OnlineUpdate, ScratchMode, StreamingCovariance,
+    WindowMode,
 };
 pub use validate::{cross_validate, CrossValidationConfig, CrossValidationResult};
 pub use variance::{
-    estimate_variances, estimate_variances_cached, estimate_variances_from_sigmas, GramCache,
-    VarianceConfig, VarianceEstimate,
+    estimate_variances, estimate_variances_cached, estimate_variances_from_sigmas,
+    estimate_variances_scratch, GramCache, Phase1Scratch, VarianceConfig, VarianceEstimate,
 };

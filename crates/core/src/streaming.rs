@@ -57,11 +57,12 @@ use crate::augmented::AugmentedSystem;
 use crate::covariance::CenteredMeasurements;
 use crate::lia::{self, EliminationStrategy, LiaConfig, LinkRateEstimate, RankView};
 use crate::variance::{
-    estimate_variances_cached, estimate_variances_from_sigmas, GramCache, VarianceConfig,
-    VarianceEstimate,
+    estimate_variances_cached, estimate_variances_from_sigmas, estimate_variances_scratch,
+    GramCache, Phase1Scratch, VarianceConfig, VarianceEstimate,
 };
 use losstomo_linalg::{
-    givens, lstsq, triangular, Cholesky, LinalgError, LstsqBackend, Matrix, PivotedQr, SparseQr,
+    givens, lstsq, triangular, Cholesky, CsrMatrix, LinalgError, LstsqBackend, Matrix, PivotedQr,
+    SparseQr,
 };
 use losstomo_netsim::Snapshot;
 use losstomo_topology::ReducedTopology;
@@ -287,16 +288,25 @@ impl StreamingCovariance {
     /// Panics with fewer than two ingested snapshots (the sample
     /// covariance is undefined).
     pub fn covariances(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.covariances_into(&mut out);
+        out
+    }
+
+    /// [`StreamingCovariance::covariances`] into a reusable buffer
+    /// (resized and fully overwritten; same panics).
+    pub fn covariances_into(&self, out: &mut Vec<f64>) {
         assert!(
             self.count >= 2,
             "need at least 2 snapshots for covariances, have {}",
             self.count
         );
+        out.clear();
         match self.mode {
-            WindowMode::Exponential(_) => self.comoment.clone(),
+            WindowMode::Exponential(_) => out.extend_from_slice(&self.comoment),
             _ => {
                 let denom = (self.count - 1) as f64;
-                self.comoment.iter().map(|c| c / denom).collect()
+                out.extend(self.comoment.iter().map(|c| c / denom));
             }
         }
     }
@@ -352,6 +362,27 @@ pub enum FactorRefresh {
     GivensUpdate,
 }
 
+/// Whether the online estimator reuses its refresh workspace across
+/// cadences.
+///
+/// Both modes produce **bit-identical** estimates; the knob exists so
+/// the `fleet_scale` benchmark can measure exactly what the reuse is
+/// worth, and as an escape hatch for memory-constrained tenants that
+/// prefer to release the workspace between (slow-cadence) refreshes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScratchMode {
+    /// Keep the refresh workspace — replay buffer, covariance vector,
+    /// Gram expansion, SPD permutation + Cholesky factor, Phase-2
+    /// factor buffers — alive between refreshes, so a steady-state
+    /// refresh allocates nothing and an unchanged kept-row mask reuses
+    /// the Phase-1 factor outright. Default.
+    #[default]
+    Reuse,
+    /// Drop and reallocate the workspace every refresh — the historical
+    /// behaviour, kept as the measurable baseline.
+    AllocPerRefresh,
+}
+
 /// Configuration of the online estimator.
 #[derive(Debug, Clone, Copy)]
 pub struct OnlineConfig {
@@ -368,6 +399,8 @@ pub struct OnlineConfig {
     pub lia: LiaConfig,
     /// Factorisation maintenance policy.
     pub factor: FactorRefresh,
+    /// Refresh-workspace policy (reuse vs reallocate; identical bits).
+    pub scratch: ScratchMode,
     /// Loss-rate threshold above which a link counts as congested for
     /// change detection (the paper's `t_l`).
     pub congestion_threshold: f64,
@@ -381,7 +414,40 @@ impl Default for OnlineConfig {
             variance: VarianceConfig::default(),
             lia: LiaConfig::default(),
             factor: FactorRefresh::Exact,
+            scratch: ScratchMode::default(),
             congestion_threshold: losstomo_netsim::DEFAULT_LOSS_THRESHOLD,
+        }
+    }
+}
+
+/// The reusable refresh workspace of one [`OnlineEstimator`]: every
+/// buffer the refresh hot path writes, owned by the estimator so
+/// steady-state refreshes allocate nothing (see [`ScratchMode`]).
+#[derive(Debug)]
+struct RefreshScratch {
+    /// Pair covariances of the current refresh.
+    sigmas: Vec<f64>,
+    /// Batch-exact replay of the retained window (empty until the
+    /// first exact refresh).
+    centered: CenteredMeasurements,
+    /// Phase-1 assembly + SPD solver workspace (including the cached
+    /// Cholesky factor reused while the kept-row mask is unchanged).
+    phase1: Phase1Scratch,
+    /// Dense `R*` column-selection buffer.
+    rstar_dense: Matrix,
+    /// Sparse `R*` column-selection buffer (recycled through
+    /// [`SparseQr::refactor`]).
+    rstar_csr: CsrMatrix,
+}
+
+impl Default for RefreshScratch {
+    fn default() -> Self {
+        RefreshScratch {
+            sigmas: Vec::new(),
+            centered: CenteredMeasurements::empty(),
+            phase1: Phase1Scratch::default(),
+            rstar_dense: Matrix::zeros(0, 0),
+            rstar_csr: CsrMatrix::empty(0),
         }
     }
 }
@@ -441,6 +507,9 @@ pub struct OnlineEstimator {
     since_refresh: usize,
     refreshes: u64,
     warmup_error: Option<LinalgError>,
+    /// Refresh workspace (dropped and rebuilt every refresh under
+    /// [`ScratchMode::AllocPerRefresh`]).
+    scratch: RefreshScratch,
 }
 
 /// The memoized factorisation of the reduced system `R*`, reused while
@@ -480,6 +549,7 @@ impl OnlineEstimator {
             since_refresh: 0,
             refreshes: 0,
             warmup_error: None,
+            scratch: RefreshScratch::default(),
         }
     }
 
@@ -580,24 +650,55 @@ impl OnlineEstimator {
     /// slow cadence can force a refresh (e.g. before reading
     /// [`OnlineEstimator::variances`] at a reporting boundary).
     pub fn refresh(&mut self) -> Result<(), LinalgError> {
-        let sigmas = match self.cfg.window {
-            WindowMode::Exponential(_) => self.cov.covariances(),
-            _ => self.cov.exact_covariances(),
-        };
+        if self.cfg.scratch == ScratchMode::AllocPerRefresh {
+            // The measurable baseline: pay the full allocation (and
+            // factorisation) bill every refresh.
+            self.scratch = RefreshScratch::default();
+        }
+        // Covariances into the reusable buffer. The buffer is moved out
+        // for the duration of the solve (the borrow checker cannot see
+        // that the Phase-1/Phase-2 body never touches it) and moved
+        // back before returning.
+        let mut sigmas = std::mem::take(&mut self.scratch.sigmas);
+        match self.cfg.window {
+            WindowMode::Exponential(_) => self.cov.covariances_into(&mut sigmas),
+            _ => {
+                // Exact batch replay of the retained window, recentred
+                // into the reusable buffers straight off the ring
+                // buffer (no per-refresh allocations) — bit-identical
+                // to `StreamingCovariance::exact_covariances`.
+                let centered = &mut self.scratch.centered;
+                centered.recentre_from_iter(self.cov.rows.iter().map(|r| r.as_slice()));
+                centered.pair_covariances_into(&self.cov.pairs, &mut sigmas);
+            }
+        }
+        let result = self.refresh_from_sigmas_inner(&sigmas);
+        self.scratch.sigmas = sigmas;
+        result
+    }
+
+    /// The Phase-1 solve + Phase-2 re-memoization half of a refresh.
+    fn refresh_from_sigmas_inner(&mut self, sigmas: &[f64]) -> Result<(), LinalgError> {
         let est = match (self.cfg.variance.backend, self.cfg.factor) {
-            (LstsqBackend::NormalEquations, FactorRefresh::Exact) => estimate_variances_cached(
-                &self.red,
-                &self.aug,
-                &sigmas,
-                &self.cfg.variance,
-                &mut self.gram,
-            )?,
+            (LstsqBackend::NormalEquations, FactorRefresh::Exact) => {
+                let mut phase1 = std::mem::take(&mut self.scratch.phase1);
+                let est = estimate_variances_scratch(
+                    &self.red,
+                    &self.aug,
+                    sigmas,
+                    &self.cfg.variance,
+                    &mut self.gram,
+                    &mut phase1,
+                );
+                self.scratch.phase1 = phase1;
+                est?
+            }
             (LstsqBackend::NormalEquations, FactorRefresh::GivensUpdate) => {
-                self.refresh_givens(&sigmas)?
+                self.refresh_givens(sigmas)?
             }
             // The QR backend has no incremental assembly to cache.
             (LstsqBackend::HouseholderQr, _) => {
-                estimate_variances_from_sigmas(&self.red, &self.aug, &sigmas, &self.cfg.variance)?
+                estimate_variances_from_sigmas(&self.red, &self.aug, sigmas, &self.cfg.variance)?
             }
         };
         // Phase-2 structure: the kept set is a pure function of the
@@ -622,20 +723,7 @@ impl OnlineEstimator {
                 ),
             };
             if kept != self.kept || self.p2.is_none() {
-                self.p2 = Some(match &self.view {
-                    RankView::Dense(dense) => {
-                        let rstar = dense.select_columns(&kept);
-                        match self.cfg.lia.backend {
-                            LstsqBackend::HouseholderQr => {
-                                Phase2Factor::DenseQr(PivotedQr::new(&rstar)?)
-                            }
-                            LstsqBackend::NormalEquations => Phase2Factor::DenseNormal(rstar),
-                        }
-                    }
-                    RankView::Sparse(csr) => {
-                        Phase2Factor::Sparse(SparseQr::new(csr.select_columns(&kept))?)
-                    }
-                });
+                self.rebuild_phase2(&kept)?;
                 self.kept = kept;
             }
             self.order = order;
@@ -644,6 +732,54 @@ impl OnlineEstimator {
         self.warmup_error = None;
         self.since_refresh = 0;
         self.refreshes += 1;
+        Ok(())
+    }
+
+    /// (Re)factors `R*` for a new kept column set, reusing the previous
+    /// factor's buffers through the in-place `factor_into`/`refactor`
+    /// APIs when a factor of the right family already exists. On error
+    /// the memoized factor is dropped (it would be invalid).
+    fn rebuild_phase2(&mut self, kept: &[usize]) -> Result<(), LinalgError> {
+        match &self.view {
+            RankView::Dense(dense) => {
+                dense.select_columns_into(kept, &mut self.scratch.rstar_dense);
+                match (self.cfg.lia.backend, &mut self.p2) {
+                    (LstsqBackend::HouseholderQr, Some(Phase2Factor::DenseQr(qr))) => {
+                        if let Err(e) = qr.factor_into(&self.scratch.rstar_dense) {
+                            self.p2 = None;
+                            return Err(e);
+                        }
+                    }
+                    (LstsqBackend::HouseholderQr, _) => {
+                        self.p2 = Some(Phase2Factor::DenseQr(PivotedQr::new(
+                            &self.scratch.rstar_dense,
+                        )?));
+                    }
+                    (LstsqBackend::NormalEquations, Some(Phase2Factor::DenseNormal(rstar))) => {
+                        rstar.copy_from(&self.scratch.rstar_dense);
+                    }
+                    (LstsqBackend::NormalEquations, _) => {
+                        self.p2 = Some(Phase2Factor::DenseNormal(self.scratch.rstar_dense.clone()));
+                    }
+                }
+            }
+            RankView::Sparse(csr) => {
+                csr.select_columns_into(kept, &mut self.scratch.rstar_csr);
+                let rstar = std::mem::replace(&mut self.scratch.rstar_csr, CsrMatrix::empty(0));
+                match &mut self.p2 {
+                    Some(Phase2Factor::Sparse(qr)) => match qr.refactor(rstar) {
+                        // The displaced matrix becomes the next
+                        // selection buffer.
+                        Ok(prev) => self.scratch.rstar_csr = prev,
+                        Err(e) => {
+                            self.p2 = None;
+                            return Err(e);
+                        }
+                    },
+                    _ => self.p2 = Some(Phase2Factor::Sparse(SparseQr::new(rstar)?)),
+                }
+            }
+        }
         Ok(())
     }
 
@@ -967,6 +1103,38 @@ mod tests {
         assert_eq!(online_p2.transmission, batch_p2.transmission);
         assert_eq!(online_p2.kept, batch_p2.kept);
         assert_eq!(online_p2.kept_count, batch_p2.kept_count);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_alloc_per_refresh() {
+        // The workspace-reuse hot path (cached Gram factor included)
+        // must not change a single bit of the estimates.
+        let red = fig1();
+        let ms = simulate(&red, 30, 77);
+        let mut reuse = OnlineEstimator::new(&red, OnlineConfig::default());
+        let mut alloc = OnlineEstimator::new(
+            &red,
+            OnlineConfig {
+                scratch: ScratchMode::AllocPerRefresh,
+                ..OnlineConfig::default()
+            },
+        );
+        for snap in &ms.snapshots {
+            let ur = reuse.ingest(snap).unwrap();
+            let ua = alloc.ingest(snap).unwrap();
+            assert_eq!(ur.congested, ua.congested);
+            match (&ur.estimate, &ua.estimate) {
+                (Some(er), Some(ea)) => assert_eq!(er.transmission, ea.transmission),
+                (None, None) => {}
+                _ => panic!("one mode warmed up before the other"),
+            }
+        }
+        assert_eq!(
+            reuse.variances().unwrap().v,
+            alloc.variances().unwrap().v,
+            "Phase-1 variances drifted between scratch modes"
+        );
+        assert_eq!(reuse.kept_columns(), alloc.kept_columns());
     }
 
     #[test]

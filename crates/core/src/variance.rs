@@ -14,7 +14,7 @@
 
 use crate::augmented::AugmentedSystem;
 use crate::covariance::CenteredMeasurements;
-use losstomo_linalg::{lstsq, LinalgError, LstsqBackend, Matrix};
+use losstomo_linalg::{lstsq, LinalgError, LstsqBackend, Matrix, SpdScratch};
 use losstomo_topology::ReducedTopology;
 
 /// Configuration for the variance estimator.
@@ -221,6 +221,65 @@ pub fn estimate_variances_cached(
     cfg: &VarianceConfig,
     cache: &mut GramCache,
 ) -> Result<VarianceEstimate, LinalgError> {
+    estimate_variances_scratch(red, aug, sigmas, cfg, cache, &mut Phase1Scratch::default())
+}
+
+/// Reusable buffers for repeated Phase-1 normal-equations solves: the
+/// kept mask, `AᵀΣ*`, the dense Gram expansion, and the SPD solver
+/// workspace (permutation, permuted Gram, Cholesky factor) all survive
+/// between refreshes, so a steady-state refresh allocates nothing.
+///
+/// The workspace must be dedicated to one `(red, aug, cache)` pipeline:
+/// when a refresh leaves the kept/dropped row mask unchanged, the Gram
+/// expansion *and its cached Cholesky factor* are reused outright
+/// (integer counts unchanged ⇒ identical Gram bits ⇒ identical factor
+/// bits), turning the refresh into one `AᵀΣ*` sweep plus two triangular
+/// solves.
+///
+/// The all-rows fallback gets its own cached factor: its Gram is the
+/// co-occurrence count over *every* augmented row — a constant of the
+/// topology — so once the fallback has run, every later fallback is two
+/// triangular solves instead of an `O(n_c³)` factorisation. On
+/// topologies where the negative-row drop leaves a singular system at
+/// every refresh (the paper tree is one), this removes the second of
+/// the two factorisations every steady-state refresh used to pay.
+#[derive(Debug, Default)]
+pub struct Phase1Scratch {
+    new_kept: Vec<bool>,
+    atb: Vec<f64>,
+    gram: Matrix,
+    /// Solver workspace of the kept-rows system. Its cached factor is
+    /// only valid for the mask the [`GramCache`] currently holds — any
+    /// path that moves the cache mask without solving through it must
+    /// invalidate it.
+    spd: SpdScratch,
+    /// Solver workspace of the all-rows fallback (its Gram never
+    /// changes, so its cached factor is reusable forever).
+    spd_all: SpdScratch,
+    /// Reusable all-true mask for the fallback's cache sync.
+    all_mask: Vec<bool>,
+}
+
+impl Phase1Scratch {
+    /// Creates an empty workspace (filled by the first solve).
+    pub fn new() -> Self {
+        Phase1Scratch::default()
+    }
+}
+
+/// [`estimate_variances_cached`] with a reusable [`Phase1Scratch`]
+/// workspace — the allocation-free steady-state entry point the
+/// streaming estimator refreshes through. Bit-identical to
+/// [`estimate_variances_cached`] (which wraps this with a throwaway
+/// workspace).
+pub fn estimate_variances_scratch(
+    red: &ReducedTopology,
+    aug: &AugmentedSystem,
+    sigmas: &[f64],
+    cfg: &VarianceConfig,
+    cache: &mut GramCache,
+    ws: &mut Phase1Scratch,
+) -> Result<VarianceEstimate, LinalgError> {
     assert_eq!(
         sigmas.len(),
         aug.num_rows(),
@@ -229,28 +288,35 @@ pub fn estimate_variances_cached(
         aug.num_rows()
     );
     let nc = red.num_links();
-    let new_kept: Vec<bool> = sigmas
-        .iter()
-        .map(|&s| !(cfg.drop_negative_covariances && s < 0.0))
-        .collect();
-    cache.sync(aug.matrix(), nc, &new_kept);
-    let used = new_kept.iter().filter(|&&k| k).count();
+    ws.new_kept.clear();
+    ws.new_kept
+        .extend(sigmas.iter().map(|&s| !(cfg.drop_negative_covariances && s < 0.0)));
+    let cache_was_ready = cache.is_ready();
+    let (added, dropped) = cache.sync(aug.matrix(), nc, &ws.new_kept);
+    let mask_unchanged = cache_was_ready && added.is_empty() && dropped.is_empty();
+    let used = ws.new_kept.iter().filter(|&&k| k).count();
     let dropped_count = aug.num_rows() - used;
     // `AᵀΣ*` changes with every covariance value, so it is rebuilt per
     // call: one sweep over the kept rows in ascending order.
-    let mut atb = vec![0.0; nc];
-    for (((_, links), &sigma), &keep) in aug.iter().zip(sigmas.iter()).zip(new_kept.iter()) {
+    ws.atb.clear();
+    ws.atb.resize(nc, 0.0);
+    for (((_, links), &sigma), &keep) in aug.iter().zip(sigmas.iter()).zip(ws.new_kept.iter()) {
         if !keep {
             continue;
         }
         for &ka in links {
-            atb[ka] += sigma;
+            ws.atb[ka] += sigma;
         }
     }
-    let mut gram = Matrix::zeros(nc, nc);
-    counts_to_symmetric(cache.counts(), gram.as_mut_slice(), nc);
+    // Unchanged mask ⇒ unchanged integer counts ⇒ the previous Gram
+    // expansion and its factor are exactly this refresh's too.
+    let factor_reusable = mask_unchanged && ws.spd.factor_is_cached(nc);
     let first_error = if used >= nc {
-        match lstsq::solve_spd(&gram, &atb) {
+        if !factor_reusable {
+            ws.gram.reshape_uninit(nc, nc);
+            counts_to_symmetric(cache.counts(), ws.gram.as_mut_slice(), nc);
+        }
+        match lstsq::solve_spd_with(&ws.gram, &ws.atb, &mut ws.spd, factor_reusable) {
             Ok(v) => {
                 return Ok(VarianceEstimate {
                     v,
@@ -261,6 +327,10 @@ pub fn estimate_variances_cached(
             Err(e) => e,
         }
     } else {
+        // The kept solve is skipped entirely, so `ws.spd`'s cached
+        // factor (from some older mask) must not survive into a later
+        // refresh whose mask happens to match the cache again.
+        ws.spd.invalidate();
         LinalgError::DimensionMismatch(format!(
             "only {used} usable covariance rows for {nc} links"
         ))
@@ -271,18 +341,29 @@ pub fn estimate_variances_cached(
     }
     // Fold the dropped rows back in and solve the all-rows system (the
     // paper's rows are only "redundant" when enough of them survive).
-    let all = vec![true; aug.num_rows()];
-    cache.sync(aug.matrix(), nc, &all);
-    for (((_, links), &sigma), &keep) in aug.iter().zip(sigmas.iter()).zip(new_kept.iter()) {
+    // Its Gram is a constant of the topology, so the factor cached in
+    // `spd_all` from any previous fallback is bit-identical to what a
+    // refactorisation would produce.
+    ws.all_mask.clear();
+    ws.all_mask.resize(aug.num_rows(), true);
+    cache.sync(aug.matrix(), nc, &ws.all_mask);
+    // The cache mask just moved to all-true without a kept solve:
+    // `ws.spd`'s factor no longer corresponds to it.
+    ws.spd.invalidate();
+    for (((_, links), &sigma), &keep) in aug.iter().zip(sigmas.iter()).zip(ws.new_kept.iter()) {
         if keep {
             continue;
         }
         for &ka in links {
-            atb[ka] += sigma;
+            ws.atb[ka] += sigma;
         }
     }
-    counts_to_symmetric(cache.counts(), gram.as_mut_slice(), nc);
-    let v = lstsq::solve_spd(&gram, &atb)?;
+    let all_factor_reusable = ws.spd_all.factor_is_cached(nc);
+    if !all_factor_reusable {
+        ws.gram.reshape_uninit(nc, nc);
+        counts_to_symmetric(cache.counts(), ws.gram.as_mut_slice(), nc);
+    }
+    let v = lstsq::solve_spd_with(&ws.gram, &ws.atb, &mut ws.spd_all, all_factor_reusable)?;
     Ok(VarianceEstimate {
         v,
         dropped_rows: 0,
@@ -450,6 +531,38 @@ mod tests {
         let est =
             estimate_variances(&red, &aug, &centered, &VarianceConfig::default()).unwrap();
         assert_eq!(est.used_rows + est.dropped_rows, aug.num_rows());
+    }
+
+    #[test]
+    fn scratch_never_reuses_a_stale_factor_across_fallbacks() {
+        // Regression: refresh 1 succeeds on a kept mask M1 (caching its
+        // factor); refresh 2 has too few usable rows, skips the kept
+        // solve, and its all-rows fallback re-syncs the Gram cache to
+        // the all-true mask; refresh 3 arrives with an all-true mask —
+        // "unchanged" relative to the cache — and must NOT solve with
+        // the cached M1 factor.
+        let red = fixtures::reduced(&fixtures::figure1());
+        let aug = AugmentedSystem::build(&red);
+        let cfg = VarianceConfig::default();
+        let mut cache = GramCache::new();
+        let mut ws = Phase1Scratch::new();
+        // Figure-1 aug rows: [0,1],[0,2,3],[0,2,4],[0],[0,2],[0,2].
+        // Dropping the duplicate [0,2] row keeps the system full rank.
+        let m1 = vec![1.0, 1.0, 1.0, 1.0, -1.0, 1.0];
+        let r1 = estimate_variances_scratch(&red, &aug, &m1, &cfg, &mut cache, &mut ws).unwrap();
+        assert_eq!(r1.dropped_rows, 1, "kept solve should succeed on M1");
+        // Only one usable row: used < nc forces the all-rows fallback.
+        let m2 = vec![1.0, -1.0, -1.0, -1.0, -1.0, -1.0];
+        let r2 = estimate_variances_scratch(&red, &aug, &m2, &cfg, &mut cache, &mut ws).unwrap();
+        assert_eq!(r2.dropped_rows, 0, "fallback folds every row back in");
+        // All-positive sigmas: the mask equals the cache's all-true
+        // state, so a stale M1 factor would be silently reused.
+        let m3 = vec![0.9, 1.1, 0.8, 1.2, 1.0, 0.7];
+        let got = estimate_variances_scratch(&red, &aug, &m3, &cfg, &mut cache, &mut ws).unwrap();
+        let fresh =
+            estimate_variances_cached(&red, &aug, &m3, &cfg, &mut GramCache::new()).unwrap();
+        assert_eq!(got.v, fresh.v, "stale factor leaked across the fallback");
+        assert_eq!(got.used_rows, fresh.used_rows);
     }
 
     #[test]

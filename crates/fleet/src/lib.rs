@@ -1,0 +1,541 @@
+//! # losstomo-fleet — multi-tenant online loss inference
+//!
+//! The paper's estimator monitors *one* network; a production monitor
+//! watches **many** — one topology and measurement feed per customer
+//! network, point of presence, or overlay. This crate is that layer: a
+//! [`Fleet`] owns an independent tenant per monitored network (its
+//! [`ReducedTopology`] plus a warm
+//! [`OnlineEstimator`]), buffers incoming
+//! snapshots in **bounded per-tenant queues** (crossbeam channels, so a
+//! hot tenant back-pressures instead of eating the process), and drains
+//! the queues with a **sharded worker pool** sized by the workspace-wide
+//! [`losstomo_linalg::parallel`] policy (`LOSSTOMO_THREADS`-capped).
+//!
+//! ## Determinism contract
+//!
+//! Every tenant is pinned to exactly one shard, each shard's worker
+//! processes its tenants in ascending id order, and a tenant's
+//! snapshots are ingested in arrival order — so each tenant's estimator
+//! sees precisely the call sequence it would see running alone.
+//! Per-tenant estimates, congested sets, and change events are
+//! therefore **bit-identical to a standalone
+//! [`OnlineEstimator`]** at any worker count
+//! (`tests/fleet_equivalence.rs` at the workspace root pins this for a
+//! 16-tenant fleet). Events are merged across shards in
+//! `(tenant, seq)` order, so the event stream is deterministic too.
+//!
+//! ## Hot path
+//!
+//! The per-snapshot cost is the estimator's ingest; its refresh rides
+//! the allocation-reuse workspace of [`losstomo_core::streaming`]
+//! ([`ScratchMode::Reuse`](losstomo_core::streaming::ScratchMode)), so a
+//! steady-state fleet performs no per-snapshot allocations in Phase 1's
+//! covariance replay, Gram assembly, or factorisation. The
+//! `fleet_scale` benchmark measures both that reuse (vs the
+//! reallocating baseline) and tenant-throughput scaling vs
+//! `LOSSTOMO_THREADS`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use losstomo_core::streaming::{OnlineConfig, OnlineEstimator};
+use losstomo_netsim::Snapshot;
+use losstomo_topology::ReducedTopology;
+use std::fmt;
+
+/// Opaque handle of one registered tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(usize);
+
+impl TenantId {
+    /// The tenant's dense index (`0..fleet.tenant_count()`, in
+    /// registration order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+/// Fleet-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Capacity of each tenant's snapshot queue; [`Fleet::enqueue`]
+    /// reports [`FleetError::QueueFull`] beyond it (backpressure), and
+    /// [`Fleet::ingest_batch`] drains and retries instead.
+    pub queue_capacity: usize,
+    /// Worker threads for [`Fleet::drain`]. `None` (default) follows
+    /// [`losstomo_linalg::parallel::num_threads`] — available
+    /// parallelism capped by `LOSSTOMO_THREADS`. Results are identical
+    /// at any setting; the knob trades wall-clock for CPU occupancy.
+    pub workers: Option<usize>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            queue_capacity: 64,
+            workers: None,
+        }
+    }
+}
+
+/// Errors surfaced by the fleet's queueing layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// The tenant's bounded snapshot queue is full; drain the fleet (or
+    /// widen [`FleetConfig::queue_capacity`]) and retry.
+    QueueFull(TenantId),
+    /// The tenant id does not belong to this fleet.
+    UnknownTenant(TenantId),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::QueueFull(t) => write!(f, "snapshot queue of {t} is full"),
+            FleetError::UnknownTenant(t) => write!(f, "{t} is not registered in this fleet"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// One drained event of one tenant.
+#[derive(Debug, Clone)]
+pub struct FleetEvent {
+    /// The tenant the event belongs to.
+    pub tenant: TenantId,
+    /// 1-based per-tenant snapshot sequence number that produced the
+    /// event.
+    pub seq: u64,
+    /// What happened.
+    pub kind: FleetEventKind,
+}
+
+/// Event payloads.
+#[derive(Debug, Clone)]
+pub enum FleetEventKind {
+    /// The tenant's congested-link set changed with this snapshot.
+    CongestionChanged {
+        /// Links that entered the congested set (ascending).
+        appeared: Vec<usize>,
+        /// Links that left the congested set (ascending).
+        cleared: Vec<usize>,
+        /// The full congested set after this snapshot (ascending).
+        congested: Vec<usize>,
+    },
+    /// The tenant's estimator failed to process this snapshot (a
+    /// post-warm-up refresh failure). The tenant keeps running; the
+    /// snapshot is dropped.
+    EstimatorError {
+        /// The estimator's error, stringified.
+        message: String,
+    },
+}
+
+/// Per-tenant bookkeeping the fleet exposes for observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Snapshots ingested (drained) so far.
+    pub ingested: u64,
+    /// Successful estimator refreshes so far.
+    pub refreshes: u64,
+    /// Snapshots currently waiting in the queue.
+    pub queued: usize,
+    /// Ingests that failed with an estimator error.
+    pub errors: u64,
+}
+
+/// One registered tenant: its estimator plus the receive side of its
+/// snapshot queue.
+struct Tenant {
+    name: String,
+    estimator: OnlineEstimator,
+    rx: Receiver<Snapshot>,
+    ingested: u64,
+    errors: u64,
+}
+
+impl Tenant {
+    /// Drains every queued snapshot through the estimator, appending
+    /// one event per congested-set change (or error) to `events`.
+    fn drain(&mut self, id: TenantId, events: &mut Vec<FleetEvent>) {
+        while let Ok(snapshot) = self.rx.try_recv() {
+            self.ingested += 1;
+            match self.estimator.ingest(&snapshot) {
+                Ok(update) => {
+                    if !update.appeared.is_empty() || !update.cleared.is_empty() {
+                        events.push(FleetEvent {
+                            tenant: id,
+                            seq: self.ingested,
+                            kind: FleetEventKind::CongestionChanged {
+                                appeared: update.appeared,
+                                cleared: update.cleared,
+                                congested: update.congested,
+                            },
+                        });
+                    }
+                }
+                Err(e) => {
+                    self.errors += 1;
+                    events.push(FleetEvent {
+                        tenant: id,
+                        seq: self.ingested,
+                        kind: FleetEventKind::EstimatorError {
+                            message: e.to_string(),
+                        },
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Tenant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tenant")
+            .field("name", &self.name)
+            .field("ingested", &self.ingested)
+            .field("queued", &self.rx.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Registry and scheduler for many independently monitored networks.
+///
+/// ```text
+/// feeds ──enqueue──► [bounded queue per tenant] ──drain──► worker pool
+///                                                  │   (tenant-sharded)
+///                                                  ▼
+///                                    per-tenant OnlineEstimator
+///                                                  │
+///                                  FleetEvents (congested-set diffs)
+/// ```
+///
+/// See the [crate docs](self) for the determinism contract.
+#[derive(Debug)]
+pub struct Fleet {
+    cfg: FleetConfig,
+    tenants: Vec<Tenant>,
+    /// Send sides of the tenant queues, indexable with `&self` so
+    /// producers can enqueue without exclusive access to the registry.
+    senders: Vec<Sender<Snapshot>>,
+}
+
+impl Fleet {
+    /// Creates an empty fleet.
+    pub fn new(cfg: FleetConfig) -> Self {
+        Fleet {
+            cfg,
+            tenants: Vec::new(),
+            senders: Vec::new(),
+        }
+    }
+
+    /// Registers a tenant: its own copy of the reduced topology and a
+    /// fresh [`OnlineEstimator`] with `online` settings, plus a bounded
+    /// snapshot queue. Returns the tenant's handle.
+    pub fn add_tenant(
+        &mut self,
+        name: impl Into<String>,
+        red: &ReducedTopology,
+        online: OnlineConfig,
+    ) -> TenantId {
+        let id = TenantId(self.tenants.len());
+        let (tx, rx) = bounded(self.cfg.queue_capacity);
+        self.tenants.push(Tenant {
+            name: name.into(),
+            estimator: OnlineEstimator::new(red, online),
+            rx,
+            ingested: 0,
+            errors: 0,
+        });
+        self.senders.push(tx);
+        id
+    }
+
+    /// Number of registered tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The worker count [`Fleet::drain`] will use right now (resolving
+    /// the `None` default against the shared thread policy and the
+    /// tenant count).
+    pub fn workers(&self) -> usize {
+        self.cfg
+            .workers
+            .unwrap_or_else(losstomo_linalg::parallel::num_threads)
+            .clamp(1, self.tenants.len().max(1))
+    }
+
+    /// The tenant's registration name.
+    pub fn name(&self, id: TenantId) -> &str {
+        &self.tenants[id.0].name
+    }
+
+    /// Read access to a tenant's estimator (variances, congested set,
+    /// kept columns, …).
+    pub fn estimator(&self, id: TenantId) -> &OnlineEstimator {
+        &self.tenants[id.0].estimator
+    }
+
+    /// Queue/ingest counters of one tenant.
+    pub fn stats(&self, id: TenantId) -> TenantStats {
+        let t = &self.tenants[id.0];
+        TenantStats {
+            ingested: t.ingested,
+            refreshes: t.estimator.refresh_count(),
+            queued: t.rx.len(),
+            errors: t.errors,
+        }
+    }
+
+    /// Enqueues one snapshot for a tenant without blocking. Fails with
+    /// [`FleetError::QueueFull`] when the tenant's bounded queue is at
+    /// capacity — the backpressure signal; [`Fleet::drain`] frees it.
+    pub fn enqueue(&self, id: TenantId, snapshot: Snapshot) -> Result<(), FleetError> {
+        let tx = self
+            .senders
+            .get(id.0)
+            .ok_or(FleetError::UnknownTenant(id))?;
+        match tx.try_send(snapshot) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => Err(FleetError::QueueFull(id)),
+            Err(TrySendError::Disconnected(_)) => Err(FleetError::UnknownTenant(id)),
+        }
+    }
+
+    /// Drains every tenant queue through the sharded worker pool and
+    /// returns the produced events in `(tenant, seq)` order.
+    ///
+    /// Tenant `i` is pinned to shard `i mod workers`; each shard's
+    /// worker ingests its tenants' snapshots in arrival order, so
+    /// per-tenant results are identical at any worker count.
+    pub fn drain(&mut self) -> Vec<FleetEvent> {
+        let workers = self.workers();
+        let mut events = if workers <= 1 || self.tenants.len() <= 1 {
+            let mut events = Vec::new();
+            for (i, tenant) in self.tenants.iter_mut().enumerate() {
+                tenant.drain(TenantId(i), &mut events);
+            }
+            events
+        } else {
+            // Deal the tenants out to their shards (round-robin by id,
+            // so the assignment is stable as tenants are added).
+            let mut shards: Vec<Vec<(TenantId, &mut Tenant)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (i, tenant) in self.tenants.iter_mut().enumerate() {
+                shards[i % workers].push((TenantId(i), tenant));
+            }
+            crossbeam::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .into_iter()
+                    .map(|mut shard| {
+                        scope.spawn(move |_| {
+                            let mut events = Vec::new();
+                            for (id, tenant) in shard.iter_mut() {
+                                tenant.drain(*id, &mut events);
+                            }
+                            events
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("fleet worker panicked"))
+                    .collect()
+            })
+            .expect("fleet worker pool panicked")
+        };
+        events.sort_by_key(|e| (e.tenant, e.seq));
+        events
+    }
+
+    /// Batch ingest: enqueues every `(tenant, snapshot)` pair, draining
+    /// the fleet whenever a queue fills (the bounded queues are the
+    /// batch's flow control), then drains whatever remains. Returns all
+    /// events produced while processing the batch, in drain order
+    /// (within each drain, `(tenant, seq)`-sorted).
+    pub fn ingest_batch(
+        &mut self,
+        batch: impl IntoIterator<Item = (TenantId, Snapshot)>,
+    ) -> Result<Vec<FleetEvent>, FleetError> {
+        let mut events = Vec::new();
+        for (id, snapshot) in batch {
+            let first = self
+                .senders
+                .get(id.0)
+                .ok_or(FleetError::UnknownTenant(id))?
+                .try_send(snapshot);
+            match first {
+                Ok(()) => {}
+                Err(TrySendError::Full(snapshot)) => {
+                    // Backpressure: service the queues, then retry.
+                    // The drain left every queue empty and capacity is
+                    // ≥ 1, so the retry cannot fail.
+                    events.append(&mut self.drain());
+                    self.senders[id.0]
+                        .try_send(snapshot)
+                        .map_err(|_| FleetError::QueueFull(id))?;
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    return Err(FleetError::UnknownTenant(id));
+                }
+            }
+        }
+        events.append(&mut self.drain());
+        Ok(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use losstomo_netsim::{
+        simulate_run, CongestionDynamics, CongestionScenario, MeasurementSet, ProbeConfig,
+    };
+    use losstomo_topology::fixtures;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fig1() -> ReducedTopology {
+        fixtures::reduced(&fixtures::figure1())
+    }
+
+    fn simulate(red: &ReducedTopology, m: usize, seed: u64) -> MeasurementSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scenario = CongestionScenario::draw(
+            red.num_links(),
+            0.3,
+            CongestionDynamics::Markov {
+                stay_congested: 0.8,
+            },
+            &mut rng,
+        );
+        let cfg = ProbeConfig {
+            probes_per_snapshot: 120,
+            ..ProbeConfig::default()
+        };
+        simulate_run(red, &mut scenario, &cfg, m, &mut rng)
+    }
+
+    #[test]
+    fn enqueue_applies_backpressure_and_drain_frees_it() {
+        let red = fig1();
+        let mut fleet = Fleet::new(FleetConfig {
+            queue_capacity: 2,
+            workers: Some(1),
+        });
+        let t = fleet.add_tenant("net-0", &red, OnlineConfig::default());
+        let ms = simulate(&red, 3, 1);
+        fleet.enqueue(t, ms.snapshots[0].clone()).unwrap();
+        fleet.enqueue(t, ms.snapshots[1].clone()).unwrap();
+        assert_eq!(
+            fleet.enqueue(t, ms.snapshots[2].clone()),
+            Err(FleetError::QueueFull(t))
+        );
+        assert_eq!(fleet.stats(t).queued, 2);
+        fleet.drain();
+        assert_eq!(fleet.stats(t).queued, 0);
+        assert_eq!(fleet.stats(t).ingested, 2);
+        fleet.enqueue(t, ms.snapshots[2].clone()).unwrap();
+    }
+
+    #[test]
+    fn unknown_tenant_is_rejected() {
+        let red = fig1();
+        let fleet = Fleet::new(FleetConfig::default());
+        let ghost = TenantId(7);
+        let ms = simulate(&red, 1, 2);
+        assert_eq!(
+            fleet.enqueue(ghost, ms.snapshots[0].clone()),
+            Err(FleetError::UnknownTenant(ghost))
+        );
+    }
+
+    #[test]
+    fn ingest_batch_drains_on_backpressure() {
+        let red = fig1();
+        let mut fleet = Fleet::new(FleetConfig {
+            queue_capacity: 2,
+            workers: Some(2),
+        });
+        let a = fleet.add_tenant("a", &red, OnlineConfig::default());
+        let b = fleet.add_tenant("b", &red, OnlineConfig::default());
+        let m = 9;
+        let ms_a = simulate(&red, m, 3);
+        let ms_b = simulate(&red, m, 4);
+        // Interleave; queue capacity 2 forces intermediate drains.
+        let batch: Vec<(TenantId, Snapshot)> = ms_a
+            .snapshots
+            .iter()
+            .cloned()
+            .map(|s| (a, s))
+            .zip(ms_b.snapshots.iter().cloned().map(|s| (b, s)))
+            .flat_map(|(x, y)| [x, y])
+            .collect();
+        fleet.ingest_batch(batch).unwrap();
+        assert_eq!(fleet.stats(a).ingested, m as u64);
+        assert_eq!(fleet.stats(b).ingested, m as u64);
+        assert_eq!(fleet.stats(a).queued, 0);
+        assert!(fleet.estimator(a).variances().is_some());
+    }
+
+    #[test]
+    fn events_replay_congested_set_transitions() {
+        let red = fig1();
+        let mut fleet = Fleet::new(FleetConfig::default());
+        let t = fleet.add_tenant("net", &red, OnlineConfig::default());
+        let ms = simulate(&red, 25, 5);
+        let events = fleet
+            .ingest_batch(ms.snapshots.iter().cloned().map(|s| (t, s)))
+            .unwrap();
+        // Replaying appeared/cleared from an empty set must land on the
+        // estimator's current congested set.
+        let mut current: Vec<usize> = Vec::new();
+        let mut last_seq = 0;
+        for e in &events {
+            assert_eq!(e.tenant, t);
+            assert!(e.seq > last_seq, "events must be seq-ordered per tenant");
+            last_seq = e.seq;
+            match &e.kind {
+                FleetEventKind::CongestionChanged {
+                    appeared,
+                    cleared,
+                    congested,
+                } => {
+                    current.retain(|k| !cleared.contains(k));
+                    current.extend(appeared.iter().copied());
+                    current.sort_unstable();
+                    assert_eq!(&current, congested);
+                }
+                FleetEventKind::EstimatorError { message } => {
+                    panic!("unexpected estimator error: {message}")
+                }
+            }
+        }
+        assert_eq!(current, fleet.estimator(t).congested_links());
+    }
+
+    #[test]
+    fn workers_resolve_against_tenant_count() {
+        let red = fig1();
+        let mut fleet = Fleet::new(FleetConfig {
+            queue_capacity: 4,
+            workers: Some(8),
+        });
+        assert_eq!(fleet.workers(), 1, "no tenants → one (idle) worker");
+        for i in 0..3 {
+            fleet.add_tenant(format!("net-{i}"), &red, OnlineConfig::default());
+        }
+        assert_eq!(fleet.workers(), 3, "workers are capped by tenants");
+        assert_eq!(fleet.name(TenantId(2)), "net-2");
+    }
+}

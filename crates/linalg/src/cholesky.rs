@@ -14,6 +14,9 @@ use crate::Result;
 #[derive(Debug, Clone)]
 pub struct Cholesky {
     l: Matrix,
+    /// Scratch of the blocked trailing update, kept so
+    /// [`Cholesky::factor_into`] allocates nothing at a stable order.
+    blocked_scratch: Vec<f64>,
 }
 
 /// Matrices at or below this order use the unblocked factorisation
@@ -37,6 +40,23 @@ impl Cholesky {
     /// differ from [`Cholesky::new_unblocked`] in the last bits
     /// (small systems take the unblocked path and match it exactly).
     pub fn new(a: &Matrix) -> Result<Self> {
+        let mut chol = Cholesky {
+            l: Matrix::zeros(0, 0),
+            blocked_scratch: Vec::new(),
+        };
+        chol.factor_into(a)?;
+        Ok(chol)
+    }
+
+    /// Re-factors `a` into this instance's preallocated factor buffer —
+    /// the in-place counterpart of [`Cholesky::new`], producing
+    /// bit-identical factors while allocating nothing once the buffer
+    /// has reached the right order. [`Cholesky::new`] is a thin wrapper
+    /// over this with an empty buffer.
+    ///
+    /// On error the stored factor is invalid and must not be used for
+    /// solves until a subsequent `factor_into` succeeds.
+    pub fn factor_into(&mut self, a: &Matrix) -> Result<()> {
         let (m, n) = a.shape();
         if m != n {
             return Err(LinalgError::DimensionMismatch(format!(
@@ -46,10 +66,12 @@ impl Cholesky {
         if n == 0 {
             return Err(LinalgError::Empty);
         }
+        self.l.reshape_zeroed(n, n);
         if n <= BLOCK_DISPATCH_MIN {
-            return Self::new_unblocked(a);
+            factor_unblocked(a, &mut self.l)
+        } else {
+            factor_blocked(a, &mut self.l, &mut self.blocked_scratch)
         }
-        Self::new_blocked(a)
     }
 
     /// The textbook left-looking factorisation, one column at a time.
@@ -67,125 +89,12 @@ impl Cholesky {
         if n == 0 {
             return Err(LinalgError::Empty);
         }
-        let tol = pivot_tolerance(a);
         let mut l = Matrix::zeros(n, n);
-        for j in 0..n {
-            // Diagonal entry.
-            let mut d = a[(j, j)];
-            for k in 0..j {
-                d -= l[(j, k)] * l[(j, k)];
-            }
-            if d <= tol {
-                return Err(LinalgError::NotPositiveDefinite { index: j });
-            }
-            let ljj = d.sqrt();
-            l[(j, j)] = ljj;
-            // Column below the diagonal.
-            for i in (j + 1)..n {
-                let mut s = a[(i, j)];
-                for k in 0..j {
-                    s -= l[(i, k)] * l[(j, k)];
-                }
-                l[(i, j)] = s / ljj;
-            }
-        }
-        Ok(Cholesky { l })
-    }
-
-    /// Right-looking blocked factorisation: factor a diagonal `NB × NB`
-    /// block, triangular-solve the panel below it, then subtract the
-    /// panel's outer product from the trailing lower triangle with the
-    /// cache-blocked kernel of [`crate::blocked`]. The trailing update
-    /// carries ~all the flops and runs on contiguous panel rows instead
-    /// of the unblocked version's full-length strided history dots.
-    fn new_blocked(a: &Matrix) -> Result<Self> {
-        let n = a.rows();
-        let tol = pivot_tolerance(a);
-        let mut l = Matrix::zeros(n, n);
-        for i in 0..n {
-            for j in 0..=i {
-                l[(i, j)] = a[(i, j)];
-            }
-        }
-        let ld = l.as_mut_slice();
-        let mut scratch = Vec::new();
-        let mut p = 0;
-        while p < n {
-            let pb = NB.min(n - p);
-            // 1. Factor the diagonal block in place (all contributions
-            //    from previous panels were already subtracted).
-            for j in 0..pb {
-                let gj = p + j;
-                let mut d = ld[gj * n + gj];
-                for k in 0..j {
-                    let v = ld[gj * n + p + k];
-                    d -= v * v;
-                }
-                if d <= tol {
-                    return Err(LinalgError::NotPositiveDefinite { index: gj });
-                }
-                let ljj = d.sqrt();
-                ld[gj * n + gj] = ljj;
-                for i in (j + 1)..pb {
-                    let gi = p + i;
-                    let mut s = ld[gi * n + gj];
-                    for k in 0..j {
-                        s -= ld[gi * n + p + k] * ld[gj * n + p + k];
-                    }
-                    ld[gi * n + gj] = s / ljj;
-                }
-            }
-            // 2. Triangular-solve the panel below the diagonal block.
-            // Rows are independent, so four are solved per sweep: four
-            // accumulator chains per column hide the subtract latency
-            // that a one-row-at-a-time solve is bound by. Each element
-            // keeps the textbook accumulation order (ascending k), so
-            // the grouping does not change the factor.
-            let mut i0 = p + pb;
-            while i0 + 4 <= n {
-                // Panel prefixes of the four rows, kept k-major in a
-                // local buffer (filled column by column as solved), so
-                // the inner subtraction reads one contiguous 4-vector
-                // per step and vectorises like the trailing kernel.
-                let mut arow = [[0.0f64; 4]; NB];
-                for j in 0..pb {
-                    let gj = p + j;
-                    let bj = gj * n + p;
-                    let mut s = [
-                        ld[i0 * n + gj],
-                        ld[(i0 + 1) * n + gj],
-                        ld[(i0 + 2) * n + gj],
-                        ld[(i0 + 3) * n + gj],
-                    ];
-                    for (a, ljk) in arow.iter().zip(ld[bj..bj + j].iter()) {
-                        for (sr, ar) in s.iter_mut().zip(a.iter()) {
-                            *sr -= ar * ljk;
-                        }
-                    }
-                    let d = ld[gj * n + gj];
-                    for (r, &sr) in s.iter().enumerate() {
-                        let v = sr / d;
-                        arow[j][r] = v;
-                        ld[(i0 + r) * n + gj] = v;
-                    }
-                }
-                i0 += 4;
-            }
-            for i in i0..n {
-                for j in 0..pb {
-                    let gj = p + j;
-                    let mut s = ld[i * n + gj];
-                    for k in 0..j {
-                        s -= ld[i * n + p + k] * ld[gj * n + p + k];
-                    }
-                    ld[i * n + gj] = s / ld[gj * n + gj];
-                }
-            }
-            // 3. Trailing update `C -= P Pᵀ`.
-            crate::blocked::cholesky_trailing_update(ld, n, p, pb, &mut scratch);
-            p += pb;
-        }
-        Ok(Cholesky { l })
+        factor_unblocked(a, &mut l)?;
+        Ok(Cholesky {
+            l,
+            blocked_scratch: Vec::new(),
+        })
     }
 
     /// The lower-triangular factor `L`.
@@ -205,6 +114,130 @@ impl Cholesky {
         let y = solve_lower_triangular(&self.l, b)?;
         solve_lower_transposed(&self.l, &y)
     }
+}
+
+/// The textbook left-looking factorisation body, writing into a
+/// pre-zeroed `n × n` factor buffer.
+fn factor_unblocked(a: &Matrix, l: &mut Matrix) -> Result<()> {
+    let n = a.rows();
+    let tol = pivot_tolerance(a);
+    for j in 0..n {
+        // Diagonal entry.
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            d -= l[(j, k)] * l[(j, k)];
+        }
+        if d <= tol {
+            return Err(LinalgError::NotPositiveDefinite { index: j });
+        }
+        let ljj = d.sqrt();
+        l[(j, j)] = ljj;
+        // Column below the diagonal.
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s / ljj;
+        }
+    }
+    Ok(())
+}
+
+/// Right-looking blocked factorisation: factor a diagonal `NB × NB`
+/// block, triangular-solve the panel below it, then subtract the
+/// panel's outer product from the trailing lower triangle with the
+/// cache-blocked kernel of [`crate::blocked`]. The trailing update
+/// carries ~all the flops and runs on contiguous panel rows instead
+/// of the unblocked version's full-length strided history dots.
+/// Writes into a pre-zeroed `n × n` factor buffer; `scratch` is the
+/// reusable trailing-update workspace.
+fn factor_blocked(a: &Matrix, l: &mut Matrix, scratch: &mut Vec<f64>) -> Result<()> {
+    let n = a.rows();
+    let tol = pivot_tolerance(a);
+    for i in 0..n {
+        for j in 0..=i {
+            l[(i, j)] = a[(i, j)];
+        }
+    }
+    let ld = l.as_mut_slice();
+    let mut p = 0;
+    while p < n {
+        let pb = NB.min(n - p);
+        // 1. Factor the diagonal block in place (all contributions
+        //    from previous panels were already subtracted).
+        for j in 0..pb {
+            let gj = p + j;
+            let mut d = ld[gj * n + gj];
+            for k in 0..j {
+                let v = ld[gj * n + p + k];
+                d -= v * v;
+            }
+            if d <= tol {
+                return Err(LinalgError::NotPositiveDefinite { index: gj });
+            }
+            let ljj = d.sqrt();
+            ld[gj * n + gj] = ljj;
+            for i in (j + 1)..pb {
+                let gi = p + i;
+                let mut s = ld[gi * n + gj];
+                for k in 0..j {
+                    s -= ld[gi * n + p + k] * ld[gj * n + p + k];
+                }
+                ld[gi * n + gj] = s / ljj;
+            }
+        }
+        // 2. Triangular-solve the panel below the diagonal block.
+        // Rows are independent, so four are solved per sweep: four
+        // accumulator chains per column hide the subtract latency
+        // that a one-row-at-a-time solve is bound by. Each element
+        // keeps the textbook accumulation order (ascending k), so
+        // the grouping does not change the factor.
+        let mut i0 = p + pb;
+        while i0 + 4 <= n {
+            // Panel prefixes of the four rows, kept k-major in a
+            // local buffer (filled column by column as solved), so
+            // the inner subtraction reads one contiguous 4-vector
+            // per step and vectorises like the trailing kernel.
+            let mut arow = [[0.0f64; 4]; NB];
+            for j in 0..pb {
+                let gj = p + j;
+                let bj = gj * n + p;
+                let mut s = [
+                    ld[i0 * n + gj],
+                    ld[(i0 + 1) * n + gj],
+                    ld[(i0 + 2) * n + gj],
+                    ld[(i0 + 3) * n + gj],
+                ];
+                for (a, ljk) in arow.iter().zip(ld[bj..bj + j].iter()) {
+                    for (sr, ar) in s.iter_mut().zip(a.iter()) {
+                        *sr -= ar * ljk;
+                    }
+                }
+                let d = ld[gj * n + gj];
+                for (r, &sr) in s.iter().enumerate() {
+                    let v = sr / d;
+                    arow[j][r] = v;
+                    ld[(i0 + r) * n + gj] = v;
+                }
+            }
+            i0 += 4;
+        }
+        for i in i0..n {
+            for j in 0..pb {
+                let gj = p + j;
+                let mut s = ld[i * n + gj];
+                for k in 0..j {
+                    s -= ld[i * n + p + k] * ld[gj * n + p + k];
+                }
+                ld[i * n + gj] = s / ld[gj * n + gj];
+            }
+        }
+        // 3. Trailing update `C -= P Pᵀ`.
+        crate::blocked::cholesky_trailing_update(ld, n, p, pb, scratch);
+        p += pb;
+    }
+    Ok(())
 }
 
 /// Relative pivot tolerance shared by both factorisation paths.
@@ -331,5 +364,30 @@ mod tests {
     fn solve_checks_dimensions() {
         let c = Cholesky::new(&Matrix::identity(2)).unwrap();
         assert!(c.solve(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn factor_into_reuse_is_bit_identical() {
+        // Reusing one instance across several systems (including a
+        // shape change and an order straddling the blocked dispatch)
+        // must reproduce the freshly-allocated factors exactly.
+        let mut reused = Cholesky::new(&Matrix::identity(3)).unwrap();
+        for &n in &[8usize, 64, 129, 150] {
+            let a = spd(n);
+            reused.factor_into(&a).unwrap();
+            let fresh = Cholesky::new(&a).unwrap();
+            assert_eq!(reused.l().as_slice(), fresh.l().as_slice(), "order {n}");
+        }
+    }
+
+    #[test]
+    fn factor_into_recovers_after_error() {
+        let mut chol = Cholesky::new(&Matrix::identity(4)).unwrap();
+        let bad = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap();
+        assert!(chol.factor_into(&bad).is_err());
+        let good = spd(4);
+        chol.factor_into(&good).unwrap();
+        let fresh = Cholesky::new(&good).unwrap();
+        assert_eq!(chol.l().as_slice(), fresh.l().as_slice());
     }
 }

@@ -21,7 +21,7 @@ use crate::matrix::Matrix;
 
 /// Scratch buffers reused across reflector applications so the
 /// factorisation performs no per-column allocations.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct ReflectorScratch {
     /// The essential part of the Householder vector (rows `k+1..m`).
     v: Vec<f64>,

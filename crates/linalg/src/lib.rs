@@ -43,7 +43,7 @@ pub mod vector;
 
 pub use cholesky::Cholesky;
 pub use error::LinalgError;
-pub use lstsq::{solve_least_squares, solve_normal_equations, LstsqBackend};
+pub use lstsq::{solve_least_squares, solve_normal_equations, LstsqBackend, SpdScratch};
 pub use matrix::Matrix;
 pub use pivoted_qr::PivotedQr;
 pub use qr::Qr;

@@ -75,6 +75,51 @@ const SPD_PERMUTE_MIN_DIM: usize = 128;
 /// lower triangle, in eighths) below which permutation pays off.
 const SPD_PERMUTE_MAX_DENSITY_EIGHTHS: usize = 2;
 
+/// Reusable workspace for repeated [`solve_spd_with`] calls over
+/// same-shaped systems: the permutation order, the permuted Gram
+/// buffer, the Cholesky factor, and the gather/scatter vectors all
+/// survive between solves, so a steady-state caller allocates nothing.
+///
+/// The workspace additionally *caches the factorisation*: a caller that
+/// can certify the Gram matrix is bit-identical to the previous
+/// successful solve (see `gram_unchanged` on [`solve_spd_with`]) skips
+/// the permutation analysis and the Cholesky refactorisation entirely —
+/// two triangular solves instead of an `O(n³)` factor.
+#[derive(Debug, Default)]
+pub struct SpdScratch {
+    nnz: Vec<usize>,
+    order: Vec<usize>,
+    /// Permuted Gram buffer (permuted branch only).
+    pg: Matrix,
+    pc: Vec<f64>,
+    chol: Option<Cholesky>,
+    /// Whether the cached factor came from the permuted branch.
+    permuted: bool,
+    /// Order of the cached factor.
+    n: usize,
+    valid: bool,
+}
+
+impl SpdScratch {
+    /// Creates an empty workspace (filled by the first solve).
+    pub fn new() -> Self {
+        SpdScratch::default()
+    }
+
+    /// Whether a factorisation from a previous successful solve is
+    /// cached (and could be reused by a `gram_unchanged` call for a
+    /// system of order `n`).
+    pub fn factor_is_cached(&self, n: usize) -> bool {
+        self.valid && self.n == n
+    }
+
+    /// Drops the cached factorisation (buffers are kept). Call when the
+    /// Gram matrix changed in a way the caller cannot certify.
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
+}
+
 /// Solves the symmetric positive-definite system `G x = c` (e.g. normal
 /// equations that were accumulated externally).
 ///
@@ -89,55 +134,124 @@ const SPD_PERMUTE_MAX_DENSITY_EIGHTHS: usize = 2;
 /// the exact permuted-back solve of the same system (identical in exact
 /// arithmetic, last-bits different in floating point). Dense or small
 /// systems take the direct path unchanged.
+///
+/// This is a thin wrapper over [`solve_spd_with`] with a fresh
+/// (throwaway) workspace.
 pub fn solve_spd(gram: &Matrix, c: &[f64]) -> Result<Vec<f64>> {
+    solve_spd_with(gram, c, &mut SpdScratch::default(), false)
+}
+
+/// [`solve_spd`] with a reusable [`SpdScratch`] workspace.
+///
+/// Bit-identical to [`solve_spd`] for any `gram_unchanged` value: when
+/// `gram_unchanged` is `true` — the caller certifies `gram` holds
+/// exactly the bits of the previous successful solve through this
+/// workspace — the cached factor is reused, which reproduces the same
+/// triangular solves a refactorisation would (the factor of identical
+/// bits is identical bits). Pass `false` whenever unsure; the only cost
+/// is the refactorisation.
+pub fn solve_spd_with(
+    gram: &Matrix,
+    c: &[f64],
+    ws: &mut SpdScratch,
+    gram_unchanged: bool,
+) -> Result<Vec<f64>> {
     let n = gram.rows();
+    if gram_unchanged && ws.factor_is_cached(n) {
+        if c.len() != n {
+            // Mirror the uncached paths, which surface a dimension
+            // error instead of indexing out of bounds in the gather.
+            return Err(LinalgError::DimensionMismatch(format!(
+                "A is {n}x{n}, b has length {}",
+                c.len()
+            )));
+        }
+        let chol = ws.chol.as_ref().expect("cached factor present when valid");
+        if ws.permuted {
+            return solve_permuted(chol, &ws.order, c, &mut ws.pc);
+        }
+        return chol.solve(c);
+    }
+    ws.valid = false;
     if n > SPD_PERMUTE_MIN_DIM && gram.cols() == n && c.len() == n {
         // Count each row's nonzeros (= symmetric column occupancy).
-        let nnz: Vec<usize> = (0..n)
-            .map(|i| gram.row(i).iter().filter(|&&x| x != 0.0).count())
-            .collect();
-        let total: usize = nnz.iter().sum();
+        ws.nnz.clear();
+        ws.nnz
+            .extend((0..n).map(|i| gram.row(i).iter().filter(|&&x| x != 0.0).count()));
+        let total: usize = ws.nnz.iter().sum();
         if total * 8 <= n * n * SPD_PERMUTE_MAX_DENSITY_EIGHTHS {
-            let mut order: Vec<usize> = (0..n).collect();
+            ws.order.clear();
+            ws.order.extend(0..n);
             // Stable sort: deterministic tie-breaking by original index.
-            order.sort_by_key(|&i| nnz[i]);
-            let mut pg = Matrix::zeros(n, n);
-            for (i2, &oi) in order.iter().enumerate() {
+            let nnz = &ws.nnz;
+            ws.order.sort_by_key(|&i| nnz[i]);
+            ws.pg.reshape_uninit(n, n);
+            for (i2, &oi) in ws.order.iter().enumerate() {
                 let src = gram.row(oi);
-                let dst = pg.row_mut(i2);
-                for (d, &oj) in dst.iter_mut().zip(order.iter()) {
+                let dst = ws.pg.row_mut(i2);
+                for (d, &oj) in dst.iter_mut().zip(ws.order.iter()) {
                     *d = src[oj];
                 }
             }
-            let chol = match Cholesky::new(&pg) {
+            let chol = factor_cached(&mut ws.chol, &ws.pg);
+            let chol = match chol {
                 Ok(chol) => chol,
                 Err(LinalgError::NotPositiveDefinite { index }) => {
                     return Err(LinalgError::NotPositiveDefinite {
-                        index: order[index],
+                        index: ws.order[index],
                     });
                 }
                 Err(e) => return Err(e),
             };
-            let pc: Vec<f64> = order.iter().map(|&o| c[o]).collect();
-            // Map pivot indices in solver errors back to the caller's
-            // coordinates, like the factorisation error above.
-            let y = match chol.solve(&pc) {
-                Ok(y) => y,
-                Err(LinalgError::Singular { index }) => {
-                    return Err(LinalgError::Singular {
-                        index: order[index],
-                    });
-                }
-                Err(e) => return Err(e),
-            };
-            let mut x = vec![0.0; n];
-            for (&o, &yi) in order.iter().zip(y.iter()) {
-                x[o] = yi;
-            }
+            let x = solve_permuted(chol, &ws.order, c, &mut ws.pc)?;
+            ws.permuted = true;
+            ws.n = n;
+            ws.valid = true;
             return Ok(x);
         }
     }
-    Cholesky::new(gram)?.solve(c)
+    let chol = factor_cached(&mut ws.chol, gram)?;
+    let x = chol.solve(c)?;
+    ws.permuted = false;
+    ws.n = n;
+    ws.valid = true;
+    Ok(x)
+}
+
+/// (Re)factors into the workspace's Cholesky slot, reusing its buffer.
+fn factor_cached<'a>(slot: &'a mut Option<Cholesky>, a: &Matrix) -> Result<&'a Cholesky> {
+    match slot {
+        Some(chol) => chol.factor_into(a)?,
+        None => *slot = Some(Cholesky::new(a)?),
+    }
+    Ok(slot.as_ref().expect("just filled"))
+}
+
+/// Gathers `c` through `order`, solves against the permuted factor, and
+/// scatters the solution back to the caller's coordinates (mapping any
+/// pivot index in solver errors back as well).
+fn solve_permuted(
+    chol: &Cholesky,
+    order: &[usize],
+    c: &[f64],
+    pc: &mut Vec<f64>,
+) -> Result<Vec<f64>> {
+    pc.clear();
+    pc.extend(order.iter().map(|&o| c[o]));
+    let y = match chol.solve(pc) {
+        Ok(y) => y,
+        Err(LinalgError::Singular { index }) => {
+            return Err(LinalgError::Singular {
+                index: order[index],
+            });
+        }
+        Err(e) => return Err(e),
+    };
+    let mut x = vec![0.0; order.len()];
+    for (&o, &yi) in order.iter().zip(y.iter()) {
+        x[o] = yi;
+    }
+    Ok(x)
 }
 
 /// Computes the residual 2-norm `‖A x − b‖₂` of a candidate solution —
@@ -233,5 +347,63 @@ mod tests {
         let x = solve_spd(&g, &[4.0, 10.0]).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-12);
         assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    /// Sparse SPD matrix large enough to take the permuted branch.
+    fn sparse_spd(n: usize) -> Matrix {
+        let mut g = Matrix::zeros(n, n);
+        for i in 0..n {
+            g[(i, i)] = 4.0 + (i % 7) as f64;
+            if i + 1 < n {
+                g[(i, i + 1)] = -1.0;
+                g[(i + 1, i)] = -1.0;
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn solve_spd_with_scratch_is_bit_identical() {
+        let n = 200;
+        let g = sparse_spd(n);
+        let c: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let baseline = solve_spd(&g, &c).unwrap();
+        let mut ws = SpdScratch::new();
+        // Fresh scratch, reused scratch, and the cached-factor skip must
+        // all reproduce the same bits.
+        let first = solve_spd_with(&g, &c, &mut ws, false).unwrap();
+        assert_eq!(first, baseline);
+        assert!(ws.factor_is_cached(n));
+        let second = solve_spd_with(&g, &c, &mut ws, true).unwrap();
+        assert_eq!(second, baseline);
+        // A different right-hand side through the cached factor matches
+        // a from-scratch solve of the same system.
+        let c2: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let cached = solve_spd_with(&g, &c2, &mut ws, true).unwrap();
+        assert_eq!(cached, solve_spd(&g, &c2).unwrap());
+        // Invalidated scratch refactors and still matches.
+        ws.invalidate();
+        assert!(!ws.factor_is_cached(n));
+        assert_eq!(solve_spd_with(&g, &c, &mut ws, true).unwrap(), baseline);
+    }
+
+    #[test]
+    fn solve_spd_with_scratch_survives_shape_changes() {
+        let mut ws = SpdScratch::new();
+        let g1 = sparse_spd(150);
+        let c1 = vec![1.0; 150];
+        let x1 = solve_spd_with(&g1, &c1, &mut ws, false).unwrap();
+        assert_eq!(x1, solve_spd(&g1, &c1).unwrap());
+        // Smaller, dense system through the same scratch (direct branch).
+        let g2 = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 5.0]]).unwrap();
+        let x2 = solve_spd_with(&g2, &[4.0, 10.0], &mut ws, false).unwrap();
+        assert_eq!(x2, solve_spd(&g2, &[4.0, 10.0]).unwrap());
+        // A stale `gram_unchanged` hint at a different order must not
+        // reuse the old factor.
+        let g3 = sparse_spd(150);
+        assert_eq!(
+            solve_spd_with(&g3, &c1, &mut ws, true).unwrap(),
+            solve_spd(&g3, &c1).unwrap()
+        );
     }
 }

@@ -18,7 +18,7 @@ use std::ops::{Index, IndexMut};
 /// the access pattern of Householder QR (which sweeps columns within a
 /// panel of rows) well enough for the problem sizes of the paper
 /// (`n_c ≤` a few thousand).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -301,14 +301,49 @@ impl Matrix {
     /// given order.
     pub fn select_columns(&self, cols: &[usize]) -> Matrix {
         let mut m = Matrix::zeros(self.rows, cols.len());
+        self.select_columns_into(cols, &mut m);
+        m
+    }
+
+    /// [`Matrix::select_columns`] writing into a preallocated matrix:
+    /// `out` is reshaped in place (reusing its buffer) and fully
+    /// overwritten, so steady-state callers re-selecting columns every
+    /// refresh allocate nothing.
+    pub fn select_columns_into(&self, cols: &[usize], out: &mut Matrix) {
+        out.reshape_uninit(self.rows, cols.len());
         for i in 0..self.rows {
             let src = self.row(i);
-            let dst = m.row_mut(i);
+            let dst = out.row_mut(i);
             for (t, &j) in dst.iter_mut().zip(cols.iter()) {
                 *t = src[j];
             }
         }
-        m
+    }
+
+    /// Reshapes the matrix in place to `rows × cols`, reusing the
+    /// existing allocation where possible. The contents afterwards are
+    /// **unspecified** (a mix of old data and zeros) — every entry must
+    /// be overwritten before use. This is the buffer-recycling primitive
+    /// behind the `*_into` APIs.
+    pub fn reshape_uninit(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshapes the matrix in place to `rows × cols` (reusing the
+    /// allocation) and zero-fills it.
+    pub fn reshape_zeroed(&mut self, rows: usize, cols: usize) {
+        self.reshape_uninit(rows, cols);
+        self.data.fill(0.0);
+    }
+
+    /// Makes this matrix an exact copy of `src`, reusing the existing
+    /// allocation (unlike the derived `Clone::clone_from`, which
+    /// reallocates through `clone`).
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.reshape_uninit(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
     }
 
     /// Returns a new matrix consisting of the selected rows, in the given

@@ -339,6 +339,14 @@ impl CsrMatrix {
     /// Panics if `kept` is not strictly ascending or indexes out of
     /// range.
     pub fn select_columns(&self, kept: &[usize]) -> CsrMatrix {
+        let mut out = CsrMatrix::empty(0);
+        self.select_columns_into(kept, &mut out);
+        out
+    }
+
+    /// [`CsrMatrix::select_columns`] writing into a preallocated matrix
+    /// whose buffers are reused and fully overwritten (same panics).
+    pub fn select_columns_into(&self, kept: &[usize], out: &mut CsrMatrix) {
         assert!(
             kept.windows(2).all(|w| w[0] < w[1]),
             "kept columns must be strictly ascending"
@@ -346,31 +354,23 @@ impl CsrMatrix {
         if let Some(&last) = kept.last() {
             assert!(last < self.cols, "column {last} out of range for {} columns", self.cols);
         }
-        // Old column → new column (usize::MAX = dropped).
-        let mut remap = vec![usize::MAX; self.cols];
-        for (new, &old) in kept.iter().enumerate() {
-            remap[old] = new;
-        }
-        let mut indptr = Vec::with_capacity(self.rows + 1);
-        indptr.push(0usize);
-        let mut indices = Vec::new();
-        let mut values = Vec::new();
+        out.rows = self.rows;
+        out.cols = kept.len();
+        out.indptr.clear();
+        out.indptr.push(0usize);
+        out.indices.clear();
+        out.values.clear();
+        // Old column → new column by binary search over the (strictly
+        // ascending) kept list: `O(nnz · log k)` with zero scratch,
+        // keeping this hot-path entry allocation-free.
         for i in 0..self.rows {
             for (j, v) in self.row(i) {
-                let nj = remap[j];
-                if nj != usize::MAX {
-                    indices.push(nj);
-                    values.push(v);
+                if let Ok(nj) = kept.binary_search(&j) {
+                    out.indices.push(nj);
+                    out.values.push(v);
                 }
             }
-            indptr.push(indices.len());
-        }
-        CsrMatrix {
-            rows: self.rows,
-            cols: kept.len(),
-            indptr,
-            indices,
-            values,
+            out.indptr.push(out.indices.len());
         }
     }
 }

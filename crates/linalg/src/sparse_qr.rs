@@ -73,14 +73,38 @@ impl SparseQr {
     /// call site factors an owned column-subset temporary, and the
     /// matrix is retained for the seminormal solve anyway.
     pub fn new(a: CsrMatrix) -> Result<Self> {
+        let mut qr = SparseQr {
+            a: CsrMatrix::empty(0),
+            r_rows: Vec::new(),
+            row_max: Vec::new(),
+            scale: 0.0,
+        };
+        qr.refactor(a)?;
+        Ok(qr)
+    }
+
+    /// Re-factors `a` into this instance, recycling the triangular
+    /// factor's per-row allocations, and hands the *previously*
+    /// factored matrix back so the caller can recycle its buffers too —
+    /// the in-place counterpart of [`SparseQr::new`] (which is a thin
+    /// wrapper over this). Bit-identical to a fresh factorisation.
+    ///
+    /// On error the stored factorisation is invalid until a subsequent
+    /// `refactor` succeeds.
+    pub fn refactor(&mut self, a: CsrMatrix) -> Result<CsrMatrix> {
         let (m, n) = (a.rows(), a.cols());
         if m == 0 || n == 0 {
             return Err(LinalgError::Empty);
         }
-        let mut r_rows: Vec<Option<SparseRow>> = vec![None; n];
-        let mut work: SparseRow = Vec::new();
-        let mut merged: SparseRow = Vec::new();
-        let mut rotated: SparseRow = Vec::new();
+        let prev = std::mem::replace(&mut self.a, a);
+        // Recycle every installed row's allocation through a pool.
+        let mut pool: Vec<SparseRow> = self.r_rows.drain(..).flatten().collect();
+        self.r_rows.resize_with(n, || None);
+        let a = &self.a;
+        let r_rows = &mut self.r_rows;
+        let mut work: SparseRow = pool.pop().unwrap_or_default();
+        let mut merged: SparseRow = pool.pop().unwrap_or_default();
+        let mut rotated: SparseRow = pool.pop().unwrap_or_default();
         for i in 0..m {
             work.clear();
             work.extend(a.row(i));
@@ -103,27 +127,23 @@ impl SparseQr {
                 }
                 match &mut r_rows[j] {
                     slot @ None => {
-                        *slot = Some(work.clone());
+                        let mut row = pool.pop().unwrap_or_default();
+                        row.clear();
+                        row.extend_from_slice(&work);
+                        *slot = Some(row);
                         break;
                     }
                     Some(rj) => rotate_rows(rj, &mut work, &mut merged, &mut rotated),
                 }
             }
         }
-        let row_max: Vec<Option<f64>> = r_rows
-            .iter()
-            .map(|r| {
-                r.as_ref()
-                    .map(|row| row.iter().map(|&(_, v)| v.abs()).fold(0.0_f64, f64::max))
-            })
-            .collect();
-        let scale = row_max.iter().flatten().copied().fold(0.0_f64, f64::max);
-        Ok(SparseQr {
-            a,
-            r_rows,
-            row_max,
-            scale,
-        })
+        self.row_max.clear();
+        self.row_max.extend(self.r_rows.iter().map(|r| {
+            r.as_ref()
+                .map(|row| row.iter().map(|&(_, v)| v.abs()).fold(0.0_f64, f64::max))
+        }));
+        self.scale = self.row_max.iter().flatten().copied().fold(0.0_f64, f64::max);
+        Ok(prev)
     }
 
     /// Number of rows of the factored matrix.
@@ -416,5 +436,24 @@ mod tests {
         let a = binary(&[&[0, 1, 3], &[1, 2, 4]], 5);
         let qr = SparseQr::new(a).unwrap();
         assert_eq!(qr.rank(), 2);
+    }
+
+    #[test]
+    fn refactor_recycles_and_matches_fresh() {
+        let a1 = binary(&[&[0, 1], &[1, 2], &[0, 2, 3], &[3]], 4);
+        let a2 = binary(&[&[0, 2], &[1, 2], &[0, 1], &[2, 3], &[1, 3]], 4);
+        let mut reused = SparseQr::new(a1.clone()).unwrap();
+        // Refactoring hands the previous matrix back for recycling…
+        let prev = reused.refactor(a2.clone()).unwrap();
+        assert_eq!(prev, a1);
+        // …and the recycled factorisation matches a fresh one exactly.
+        let fresh = SparseQr::new(a2).unwrap();
+        assert_eq!(reused.rank(), fresh.rank());
+        assert_eq!(reused.factor_nnz(), fresh.factor_nnz());
+        let b = vec![1.0, -2.0, 0.5, 3.0, 1.5];
+        assert_eq!(
+            reused.solve_least_squares(&b).unwrap(),
+            fresh.solve_least_squares(&b).unwrap()
+        );
     }
 }

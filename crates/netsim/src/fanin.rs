@@ -1,0 +1,155 @@
+//! Fan-in of many per-tenant snapshot streams into one feed.
+//!
+//! A fleet-scale monitor (see the `losstomo-fleet` crate) watches
+//! hundreds of independent networks from one process. Each network has
+//! its own [`SnapshotStream`]; this module multiplexes them
+//! round-robin into a single iterator of `(tenant index, snapshot)`
+//! pairs — the shape a fleet's batch-ingest API wants.
+//!
+//! Every underlying stream keeps its own RNG and congestion scenario,
+//! so the fan-in is a pure interleaving: the subsequence of snapshots
+//! for tenant `t` is **bit-identical** to driving tenant `t`'s stream
+//! alone, regardless of how many tenants share the fan-in or in which
+//! order the caller consumes it.
+
+use crate::engine::SnapshotStream;
+use crate::snapshot::Snapshot;
+use rand::Rng;
+
+/// Round-robin multiplexer over per-tenant [`SnapshotStream`]s.
+///
+/// Yields `(tenant_index, snapshot)` with tenant indices cycling
+/// `0, 1, …, n−1, 0, …`; one full cycle produces exactly one snapshot
+/// per tenant ("round"). The iterator is as unbounded as its inputs —
+/// bound it with [`Iterator::take`] (`n_tenants × rounds` items).
+#[derive(Debug)]
+pub struct SnapshotFanIn<'a, R: Rng> {
+    streams: Vec<SnapshotStream<'a, R>>,
+    next: usize,
+}
+
+impl<'a, R: Rng> SnapshotFanIn<'a, R> {
+    /// Number of multiplexed tenant streams.
+    pub fn tenants(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Completed rounds (cycles in which every tenant produced one
+    /// snapshot).
+    pub fn rounds(&self) -> usize {
+        self.streams.last().map_or(0, |s| s.produced())
+    }
+
+    /// The underlying stream of one tenant (its scenario and produced
+    /// count are observable through it).
+    pub fn stream(&self, tenant: usize) -> &SnapshotStream<'a, R> {
+        &self.streams[tenant]
+    }
+}
+
+impl<'a, R: Rng> Iterator for SnapshotFanIn<'a, R> {
+    type Item = (usize, Snapshot);
+
+    fn next(&mut self) -> Option<(usize, Snapshot)> {
+        if self.streams.is_empty() {
+            return None;
+        }
+        let tenant = self.next;
+        self.next = (self.next + 1) % self.streams.len();
+        let snapshot = self.streams[tenant]
+            .next()
+            .expect("snapshot streams are unbounded");
+        Some((tenant, snapshot))
+    }
+}
+
+/// Multiplexes per-tenant snapshot streams round-robin — the
+/// measurement-side fan-in for one process driving many simulated
+/// networks. See [`SnapshotFanIn`] for the interleaving guarantees.
+pub fn fan_in<R: Rng>(streams: Vec<SnapshotStream<'_, R>>) -> SnapshotFanIn<'_, R> {
+    SnapshotFanIn { streams, next: 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate_run, simulate_stream, ProbeConfig};
+    use crate::scenario::{CongestionDynamics, CongestionScenario};
+    use losstomo_topology::fixtures;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fan_in_matches_standalone_streams_bitwise() {
+        let red = fixtures::reduced(&fixtures::figure1());
+        let cfg = ProbeConfig {
+            probes_per_snapshot: 20,
+            ..ProbeConfig::default()
+        };
+        let n_tenants = 5;
+        let rounds = 4;
+        let make_scenario = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sc = CongestionScenario::draw(
+                red.num_links(),
+                0.4,
+                CongestionDynamics::Redraw,
+                &mut rng,
+            );
+            (sc, rng)
+        };
+        let streams: Vec<_> = (0..n_tenants)
+            .map(|t| {
+                let (sc, rng) = make_scenario(100 + t as u64);
+                simulate_stream(&red, sc, &cfg, rng)
+            })
+            .collect();
+        let mut mux = fan_in(streams);
+        let mut per_tenant: Vec<Vec<crate::Snapshot>> = vec![Vec::new(); n_tenants];
+        for _ in 0..n_tenants * rounds {
+            let (t, snap) = mux.next().unwrap();
+            per_tenant[t].push(snap);
+        }
+        assert_eq!(mux.tenants(), n_tenants);
+        assert_eq!(mux.rounds(), rounds);
+        // Each tenant's subsequence equals its standalone run.
+        for (t, got) in per_tenant.iter().enumerate() {
+            let (mut sc, mut rng) = make_scenario(100 + t as u64);
+            let solo = simulate_run(&red, &mut sc, &cfg, rounds, &mut rng);
+            assert_eq!(got.len(), solo.snapshots.len());
+            for (a, b) in got.iter().zip(solo.snapshots.iter()) {
+                assert_eq!(a.path_received, b.path_received, "tenant {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_order_is_cyclic() {
+        let red = fixtures::reduced(&fixtures::figure1());
+        let cfg = ProbeConfig {
+            probes_per_snapshot: 1,
+            ..ProbeConfig::default()
+        };
+        let streams: Vec<_> = (0..3)
+            .map(|t| {
+                let mut rng = StdRng::seed_from_u64(t);
+                let sc = CongestionScenario::draw(
+                    red.num_links(),
+                    0.0,
+                    CongestionDynamics::Fixed,
+                    &mut rng,
+                );
+                simulate_stream(&red, sc, &cfg, rng)
+            })
+            .collect();
+        let order: Vec<usize> = fan_in(streams).take(7).map(|(t, _)| t).collect();
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn empty_fan_in_is_exhausted() {
+        let mut mux = fan_in::<StdRng>(Vec::new());
+        assert_eq!(mux.tenants(), 0);
+        assert!(mux.next().is_none());
+    }
+}

@@ -11,6 +11,8 @@
 //!   iid redraw, or Markov persistence);
 //! * [`engine`] — the probe engine: `S` periodic probes per path per
 //!   snapshot, per-link chains advanced per arriving packet;
+//! * [`fanin`] — round-robin fan-in of many per-tenant snapshot
+//!   streams, for one process driving a fleet of simulated networks;
 //! * [`snapshot`] — measurement containers and ground truth;
 //! * [`packet`] — the 40-byte UDP probe wire format of Section 7.1;
 //! * [`traceroute`] — topology discovery with anonymous routers and
@@ -21,6 +23,7 @@
 
 pub mod delay;
 pub mod engine;
+pub mod fanin;
 pub mod loss;
 pub mod models;
 pub mod packet;
@@ -32,6 +35,7 @@ pub use engine::{
     simulate_run, simulate_run_batch, simulate_snapshot, simulate_stream, ChainAdvance,
     ProbeConfig, SnapshotStream,
 };
+pub use fanin::{fan_in, SnapshotFanIn};
 pub use loss::{BernoulliProcess, GilbertProcess, LossProcess, LossProcessKind};
 pub use models::{LossModel, DEFAULT_LOSS_THRESHOLD};
 pub use scenario::{CongestionDynamics, CongestionScenario};

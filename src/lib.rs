@@ -19,7 +19,11 @@
 //! * [`core`] — the LIA algorithm (variance learning + rank-reduced
 //!   first-moment inversion), the streaming
 //!   [`core::streaming::OnlineEstimator`], baselines, metrics and
-//!   analyses.
+//!   analyses;
+//! * [`fleet`] — multi-tenant online inference: a [`fleet::Fleet`] of
+//!   independent estimators behind bounded per-tenant snapshot queues,
+//!   drained by a sharded worker pool, with congested-set change
+//!   events per tenant.
 //!
 //! See `ARCHITECTURE.md` at the repository root for the crate
 //! dependency graph, the batch vs streaming data flow, and a
@@ -109,6 +113,7 @@
 #![warn(missing_docs)]
 
 pub use losstomo_core as core;
+pub use losstomo_fleet as fleet;
 pub use losstomo_linalg as linalg;
 pub use losstomo_netsim as netsim;
 pub use losstomo_topology as topology;
@@ -160,13 +165,16 @@ pub mod prelude {
         infer_link_delays, infer_link_rates, location_accuracy, run_experiment, run_many,
         scfs_diagnose, AugmentedSystem, CenteredMeasurements, CrossValidationConfig,
         DelayEstimate, EliminationStrategy, ExperimentConfig, FactorRefresh, LiaConfig,
-        LinkRateEstimate, OnlineConfig, OnlineEstimator, OnlineUpdate, ScfsConfig,
+        LinkRateEstimate, OnlineConfig, OnlineEstimator, OnlineUpdate, ScfsConfig, ScratchMode,
         StreamingCovariance, VarianceConfig, WindowMode,
     };
+    pub use losstomo_fleet::{
+        Fleet, FleetConfig, FleetError, FleetEvent, FleetEventKind, TenantId, TenantStats,
+    };
     pub use losstomo_netsim::{
-        simulate_run, simulate_snapshot, simulate_stream, ChainAdvance, CongestionDynamics,
-        CongestionScenario, LossModel, LossProcessKind, MeasurementSet, ProbeConfig, Snapshot,
-        SnapshotStream, TracerouteConfig,
+        fan_in, simulate_run, simulate_snapshot, simulate_stream, ChainAdvance,
+        CongestionDynamics, CongestionScenario, LossModel, LossProcessKind, MeasurementSet,
+        ProbeConfig, Snapshot, SnapshotFanIn, SnapshotStream, TracerouteConfig,
     };
     pub use losstomo_topology::{
         compute_paths, reduce, Graph, LinkId, NodeId, NodeKind, Path, PathId, PathSet,
@@ -186,5 +194,7 @@ mod tests {
         let _x = CrossValidationConfig::default();
         let _o = OnlineConfig::default();
         let _w = WindowMode::default();
+        let _s = ScratchMode::default();
+        let _f = FleetConfig::default();
     }
 }

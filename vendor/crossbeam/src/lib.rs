@@ -1,9 +1,14 @@
-//! Offline stand-in for `crossbeam::scope`, implemented on top of
-//! `std::thread::scope` (stable since Rust 1.63). Only the pieces the
-//! workspace uses are provided: `scope(|s| ...)` returning a `Result`,
-//! and `Scope::spawn` whose closure receives the scope again.
+//! Offline stand-in for the pieces of `crossbeam` the workspace uses:
+//! `scope(|s| ...)` returning a `Result` with `Scope::spawn` whose
+//! closure receives the scope again (on top of `std::thread::scope`,
+//! stable since Rust 1.63), and [`channel`] — bounded/unbounded MPMC
+//! channels on a `Mutex<VecDeque>` + `Condvar` (API-compatible with
+//! `crossbeam-channel` for the `bounded`/`unbounded`, `send`,
+//! `try_send`, `recv`, `try_recv`, `len`, `is_empty` surface).
 
 #![forbid(unsafe_code)]
+
+pub mod channel;
 
 use std::thread;
 
