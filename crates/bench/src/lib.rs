@@ -9,7 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use losstomo_core::{run_many, ExperimentConfig, ExperimentResult};
+use losstomo_core::experiment::average_location;
+use losstomo_core::{run_many, ExperimentConfig, ExperimentResult, LocationAccuracy};
 use losstomo_topology::gen::{
     barabasi::{self, BarabasiParams},
     dimes::{self, DimesParams},
@@ -155,6 +156,17 @@ impl GridOutcome {
             sum / f64::from(count)
         }
     }
+}
+
+/// Runs the `runs`-seed sweep and returns the averaged location
+/// accuracy — the one-cell shortcut for binaries that only need DR/FPR
+/// (failed runs are dropped from the average, as in [`run_grid`]).
+pub fn run_many_location(
+    red: &losstomo_topology::ReducedTopology,
+    cfg: &ExperimentConfig,
+    runs: usize,
+) -> LocationAccuracy {
+    average_location(&run_many(red, cfg, runs))
 }
 
 /// Runs a config grid over one topology: each case is averaged over
@@ -428,6 +440,16 @@ pub fn runs_from_args(default: usize) -> usize {
     flag_value("--runs")
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// The `q`-quantile of a set of timing samples, in milliseconds
+/// (nearest-rank on the sorted slice; sorts in place). Shared by the
+/// perf binaries so their reported p50/p99 use one definition.
+pub fn percentile_ms(samples: &mut [std::time::Duration], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "need at least one sample");
+    samples.sort_unstable();
+    let idx = ((samples.len() as f64 - 1.0) * q).round() as usize;
+    samples[idx].as_secs_f64() * 1e3
 }
 
 /// Formats a fraction as a percentage with two decimals.

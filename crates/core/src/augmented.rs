@@ -171,6 +171,26 @@ impl AugmentedSystem {
         rank(&self.to_dense()) == nc
     }
 
+    /// The sub-system formed by the given row indices, in the given
+    /// order — the budgeted view that
+    /// [`crate::budget::select_pairs`] produces. Pairs and rows stay
+    /// aligned; duplicates are allowed but pointless.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn subset(&self, rows: &[usize]) -> AugmentedSystem {
+        let mut pairs = Vec::with_capacity(rows.len());
+        let mut b = RoutingMatrix::builder(self.rows.cols());
+        for &r in rows {
+            pairs.push(self.pairs[r]);
+            b.push_sorted_row(self.rows.row(r));
+        }
+        AugmentedSystem {
+            pairs,
+            rows: b.build(),
+        }
+    }
+
     /// Incrementally rebuilds the system after the paths in `changed`
     /// were re-routed (or added/removed) in `red`: rows touching a
     /// changed path are recomputed, all other rows are reused.

@@ -18,6 +18,13 @@
 //! crossbeam scoped threads; every entry is produced by exactly one
 //! thread with a fixed ascending accumulation order, so serial and
 //! parallel results are bit-identical.
+//!
+//! The pair sweep is the `O(paths²)` term of Phase 1: its cost is one
+//! dot product per *requested* pair. Under a row budget
+//! ([`crate::budget`]) the augmented system hands over only the
+//! selected pairs, so the sweep (and the Gram assembly downstream)
+//! shrinks proportionally — see `scale_pairs` in the bench crate for
+//! the measured effect.
 
 use losstomo_netsim::MeasurementSet;
 

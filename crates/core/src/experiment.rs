@@ -7,6 +7,7 @@
 //! averages 10 runs per configuration).
 
 use crate::augmented::AugmentedSystem;
+use crate::budget::{apply_budget, PairBudget};
 use crate::covariance::CenteredMeasurements;
 use crate::lia::{infer_link_rates, LiaConfig, LinkRateEstimate};
 use crate::metrics::{location_accuracy, LocationAccuracy, RateErrors, DEFAULT_DELTA};
@@ -36,6 +37,9 @@ pub struct ExperimentConfig {
     pub lia: LiaConfig,
     /// Phase-1 settings.
     pub variance: VarianceConfig,
+    /// Row budget for the augmented pair system (default: the
+    /// `LOSSTOMO_PAIR_BUDGET` knob, i.e. full when unset).
+    pub pair_budget: PairBudget,
     /// Error-factor margin `δ`.
     pub delta: f64,
     /// RNG seed.
@@ -53,6 +57,7 @@ impl Default for ExperimentConfig {
             dynamics: CongestionDynamics::Fixed,
             lia: LiaConfig::default(),
             variance: VarianceConfig::default(),
+            pair_budget: PairBudget::default(),
             delta: DEFAULT_DELTA,
             seed: 0,
             run_scfs: false,
@@ -113,7 +118,7 @@ pub fn run_experiment(
     let train = losstomo_netsim::MeasurementSet {
         snapshots: ms.snapshots[..cfg.snapshots].to_vec(),
     };
-    let aug = AugmentedSystem::build(red);
+    let (aug, _selection) = apply_budget(AugmentedSystem::build(red), cfg.pair_budget);
     let centered = CenteredMeasurements::new(&train);
     let var_est = estimate_variances(red, &aug, &centered, &cfg.variance)?;
 

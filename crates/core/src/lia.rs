@@ -19,6 +19,11 @@
 //! A greedy-matroid variant that keeps every column independent of the
 //! already-kept higher-variance set is provided for the ablation study
 //! (it never discards an identifiable congested link).
+//!
+//! Phase 2 consumes whatever variances Phase 1 produced; it is
+//! agnostic to the augmented-pair row budget ([`crate::budget`]) —
+//! budgeting changes how many covariance rows *feed* Phase 1, not the
+//! first-moment system `Y = R X` solved here.
 
 use losstomo_linalg::{lstsq, CsrMatrix, LinalgError, LstsqBackend, Matrix, PivotedQr, SparseQr};
 use losstomo_topology::ReducedTopology;
@@ -322,30 +327,75 @@ pub fn select_paper_order_hinted(
     }
     let full_rank_after_drop =
         |k: usize| -> bool { view.subset_full_rank(&order[k..], red.num_paths()) };
-    let cut = 'cut: {
-        // Warm start: certify the hinted cut as still minimal.
-        if let Some(h) = hint {
-            if h <= nc && full_rank_after_drop(h) && (h == 0 || !full_rank_after_drop(h - 1)) {
-                break 'cut h;
-            }
-        }
-        // Feasibility is monotone in the cut: if dropping k smallest
-        // leaves an independent set, dropping k+1 does too.
-        let (mut lo, mut hi) = (0usize, nc); // hi always feasible
-        if full_rank_after_drop(0) {
-            hi = 0;
-        } else {
-            // Invariant: lo infeasible, hi feasible.
-            while hi - lo > 1 {
-                let mid = lo + (hi - lo) / 2;
-                if full_rank_after_drop(mid) {
-                    hi = mid;
-                } else {
-                    lo = mid;
-                }
+    // Feasibility is monotone in the cut: if dropping k smallest
+    // leaves an independent set, dropping k+1 does too. Invariant:
+    // lo infeasible, hi feasible; converges on the minimal feasible
+    // cut.
+    let bisect = |mut lo: usize, mut hi: usize| -> usize {
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if full_rank_after_drop(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
             }
         }
         hi
+    };
+    let cut = 'cut: {
+        // Warm start: certify the hinted cut as still minimal. Between
+        // refreshes the cut drifts by a position or two (one link's
+        // variance crossing another's), so when certification fails we
+        // gallop outward from the stale hint to bracket the new cut
+        // and bisect the bracket — a handful of rank checks on narrow
+        // column subsets instead of the full `(0, nc)` bisection,
+        // whose early probes rank-check near-full-width systems.
+        if let Some(h) = hint {
+            if h <= nc && full_rank_after_drop(h) {
+                if h == 0 || !full_rank_after_drop(h - 1) {
+                    break 'cut h;
+                }
+                // Cut moved down: `h − 1` is feasible.
+                let mut hi = h - 1;
+                let mut step = 1usize;
+                let lo = loop {
+                    if hi == 0 {
+                        break 'cut 0;
+                    }
+                    let probe = hi.saturating_sub(step);
+                    if full_rank_after_drop(probe) {
+                        hi = probe;
+                        step *= 2;
+                    } else {
+                        break probe;
+                    }
+                };
+                break 'cut bisect(lo, hi);
+            } else if h < nc {
+                // Cut moved up: `h` is infeasible (dropping all `nc`
+                // is trivially feasible, so a bracket always exists).
+                let mut lo = h;
+                let mut step = 1usize;
+                let hi = loop {
+                    let probe = lo + step;
+                    if probe >= nc {
+                        break nc;
+                    }
+                    if full_rank_after_drop(probe) {
+                        break probe;
+                    }
+                    lo = probe;
+                    step *= 2;
+                };
+                break 'cut bisect(lo, hi);
+            }
+            // `h > nc`: a stale hint from another topology — fall
+            // through to the cold-start search.
+        }
+        if full_rank_after_drop(0) {
+            break 'cut 0;
+        }
+        bisect(0, nc)
     };
     let mut kept: Vec<usize> = order[cut..].to_vec();
     kept.sort_unstable();
@@ -464,6 +514,40 @@ mod tests {
         // The kept set must be full column rank.
         let sub = red.matrix.to_dense().select_columns(&kept);
         assert_eq!(losstomo_linalg::rank(&sub), kept.len());
+    }
+
+    #[test]
+    fn stale_hints_reproduce_the_cold_bisection_exactly() {
+        // The warm-start path gallops outward from a stale hint; every
+        // possible hint (certified, drifted either way, or nonsense
+        // beyond `nc`) must land on the identical minimal cut.
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(17);
+        let topo = losstomo_topology::gen::tree::generate(
+            losstomo_topology::gen::tree::TreeParams {
+                nodes: 60,
+                max_branching: 4,
+            },
+            &mut rng,
+        );
+        let paths =
+            losstomo_topology::compute_paths(&topo.graph, &topo.beacons, &topo.destinations);
+        let red = losstomo_topology::reduce(&topo.graph, &paths);
+        let nc = red.num_links();
+        let view = RankView::new(&red, Phase2Dispatch::Auto);
+        for seed in 0..3u64 {
+            // A deterministic shuffled variance order per seed.
+            let mut order: Vec<usize> = (0..nc).collect();
+            for i in (1..nc).rev() {
+                let j = ((seed + 1) * 2654435761 % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            let (cold_kept, cold_cut) = select_paper_order_hinted(&red, &view, &order, None);
+            for hint in 0..=(nc + 2) {
+                let (kept, cut) = select_paper_order_hinted(&red, &view, &order, Some(hint));
+                assert_eq!(cut, cold_cut, "hint {hint} drifted the cut");
+                assert_eq!(kept, cold_kept, "hint {hint} drifted the kept set");
+            }
+        }
     }
 
     #[test]

@@ -50,6 +50,7 @@
 
 pub mod analysis;
 pub mod augmented;
+pub mod budget;
 pub mod delay;
 pub mod baselines;
 pub mod covariance;
@@ -64,6 +65,10 @@ pub mod validate;
 pub mod variance;
 
 pub use augmented::AugmentedSystem;
+pub use budget::{
+    apply_budget, parse_pair_budget, select_pairs, select_pairs_leverage, PairBudget,
+    PairSelection, PAIR_BUDGET_ENV,
+};
 pub use covariance::CenteredMeasurements;
 pub use experiment::{run_experiment, run_many, ExperimentConfig, ExperimentResult};
 pub use identifiability::{check_identifiability, IdentifiabilityReport};
@@ -81,5 +86,6 @@ pub use streaming::{
 pub use validate::{cross_validate, CrossValidationConfig, CrossValidationResult};
 pub use variance::{
     estimate_variances, estimate_variances_cached, estimate_variances_from_sigmas,
-    estimate_variances_scratch, GramCache, Phase1Scratch, VarianceConfig, VarianceEstimate,
+    estimate_variances_scratch, GramCache, Phase1Dispatch, Phase1Scratch, VarianceConfig,
+    VarianceEstimate,
 };

@@ -54,11 +54,12 @@
 //! and/or lengthen [`OnlineConfig::refresh_every`].
 
 use crate::augmented::AugmentedSystem;
+use crate::budget::{apply_budget, PairBudget, PairSelection};
 use crate::covariance::CenteredMeasurements;
 use crate::lia::{self, EliminationStrategy, LiaConfig, LinkRateEstimate, RankView};
 use crate::variance::{
-    estimate_variances_cached, estimate_variances_from_sigmas, estimate_variances_scratch,
-    GramCache, Phase1Scratch, VarianceConfig, VarianceEstimate,
+    estimate_variances_from_sigmas, estimate_variances_scratch, GramCache, Phase1Scratch,
+    VarianceConfig, VarianceEstimate,
 };
 use losstomo_linalg::{
     givens, lstsq, triangular, Cholesky, CsrMatrix, LinalgError, LstsqBackend, Matrix, PivotedQr,
@@ -67,6 +68,12 @@ use losstomo_linalg::{
 use losstomo_netsim::Snapshot;
 use losstomo_topology::ReducedTopology;
 use std::collections::VecDeque;
+
+/// Default sliding-window recentre cadence, in evictions: frequent
+/// enough that reverse-Welford rounding stays far below any tolerance
+/// in use, rare enough that the `O(window)` replay is amortised to
+/// noise.
+pub const DEFAULT_RECENTRE_EVERY: usize = 1024;
 
 /// How much history the streaming accumulator retains.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -101,6 +108,11 @@ pub struct StreamingCovariance {
     n_paths: usize,
     pairs: Vec<(usize, usize)>,
     mode: WindowMode,
+    /// Exact-recentre cadence in evictions (0 = never); see
+    /// [`StreamingCovariance::with_recentre_every`].
+    recentre_every: usize,
+    /// Evictions since the last exact recentre.
+    evictions_since_recentre: usize,
     /// Retained rows, oldest first (empty in exponential mode).
     rows: VecDeque<Vec<f64>>,
     /// Rows currently contributing to the running moments.
@@ -147,6 +159,8 @@ impl StreamingCovariance {
             n_paths,
             pairs,
             mode,
+            recentre_every: DEFAULT_RECENTRE_EVERY,
+            evictions_since_recentre: 0,
             rows: VecDeque::new(),
             count: 0,
             total_ingested: 0,
@@ -155,6 +169,35 @@ impl StreamingCovariance {
             delta_old: vec![0.0; n_paths],
             delta_new: vec![0.0; n_paths],
         }
+    }
+
+    /// Sets the exact-recentre cadence: after `every` sliding-window
+    /// evictions the running moments are rebuilt exactly from the
+    /// retained rows, bounding the rounding drift that reverse-Welford
+    /// downdates accumulate over thousands of evictions (`0` disables
+    /// — the pre-cadence behaviour). Default:
+    /// [`DEFAULT_RECENTRE_EVERY`].
+    pub fn with_recentre_every(mut self, every: usize) -> Self {
+        self.recentre_every = every;
+        self
+    }
+
+    /// Rebuilds the running Welford moments exactly from the retained
+    /// rows — a drift reset for the incremental estimates (the exact
+    /// queries replay the window anyway). `O(window · (n_p + pairs))`.
+    pub fn recentre(&mut self) {
+        self.evictions_since_recentre = 0;
+        if matches!(self.mode, WindowMode::Exponential(_)) {
+            return; // no window to replay
+        }
+        self.count = 0;
+        self.mean.fill(0.0);
+        self.comoment.fill(0.0);
+        let rows = std::mem::take(&mut self.rows);
+        for row in &rows {
+            self.welford_add(row);
+        }
+        self.rows = rows;
     }
 
     /// Number of paths per snapshot row.
@@ -206,6 +249,12 @@ impl StreamingCovariance {
                 if self.rows.len() > w {
                     let old = self.rows.pop_front().expect("window overflowed");
                     self.welford_remove(&old);
+                    self.evictions_since_recentre += 1;
+                    if self.recentre_every > 0
+                        && self.evictions_since_recentre >= self.recentre_every
+                    {
+                        self.recentre();
+                    }
                 }
             }
         }
@@ -404,6 +453,17 @@ pub struct OnlineConfig {
     /// Loss-rate threshold above which a link counts as congested for
     /// change detection (the paper's `t_l`).
     pub congestion_threshold: f64,
+    /// Row budget for the augmented pair system (default: the
+    /// `LOSSTOMO_PAIR_BUDGET` knob, i.e. full when unset). Applied once
+    /// at construction; the selection is readable via
+    /// [`OnlineEstimator::pair_selection`].
+    pub pair_budget: PairBudget,
+    /// Exact-recentre cadence of the sliding-window accumulator: after
+    /// this many evictions the running Welford moments are rebuilt
+    /// from the retained rows, bounding reverse-Welford rounding drift
+    /// on long streams (`0` disables; exact refreshes are unaffected —
+    /// they replay the window regardless).
+    pub recentre_every: usize,
 }
 
 impl Default for OnlineConfig {
@@ -416,6 +476,8 @@ impl Default for OnlineConfig {
             factor: FactorRefresh::Exact,
             scratch: ScratchMode::default(),
             congestion_threshold: losstomo_netsim::DEFAULT_LOSS_THRESHOLD,
+            pair_budget: PairBudget::default(),
+            recentre_every: DEFAULT_RECENTRE_EVERY,
         }
     }
 }
@@ -491,6 +553,9 @@ pub struct OnlineEstimator {
     /// and `R*` assembly.
     view: RankView,
     aug: AugmentedSystem,
+    /// The pair selection the budget produced at construction (`None`
+    /// when the budget didn't bite and `aug` is the full system).
+    selection: Option<PairSelection>,
     cov: StreamingCovariance,
     gram: GramCache,
     /// Upper factor `R` with `RᵀR = AᵀA` (Givens mode only).
@@ -530,13 +595,18 @@ impl OnlineEstimator {
     /// augmented system, its pair index, and the streaming accumulator.
     pub fn new(red: &ReducedTopology, cfg: OnlineConfig) -> Self {
         assert!(cfg.refresh_every >= 1, "refresh cadence must be ≥ 1");
-        let aug = AugmentedSystem::build(red);
-        let cov = StreamingCovariance::new(red.num_paths(), aug.pair_indices(), cfg.window);
+        // Budget the pair set before wiring the accumulator: the
+        // covariance sweep, the Gram cache and every Phase-1 solve then
+        // only ever see the selected rows.
+        let (aug, selection) = apply_budget(AugmentedSystem::build(red), cfg.pair_budget);
+        let cov = StreamingCovariance::new(red.num_paths(), aug.pair_indices(), cfg.window)
+            .with_recentre_every(cfg.recentre_every);
         OnlineEstimator {
             red: red.clone(),
             view: RankView::new(red, cfg.lia.dispatch),
             cfg,
             aug,
+            selection,
             cov,
             gram: GramCache::new(),
             factor: None,
@@ -553,9 +623,16 @@ impl OnlineEstimator {
         }
     }
 
-    /// The augmented system the estimator tracks covariances for.
+    /// The augmented system the estimator tracks covariances for
+    /// (already budgeted when [`OnlineConfig::pair_budget`] bites).
     pub fn augmented(&self) -> &AugmentedSystem {
         &self.aug
+    }
+
+    /// The pair selection applied at construction, or `None` when the
+    /// configured [`PairBudget`] kept the full pair set.
+    pub fn pair_selection(&self) -> Option<&PairSelection> {
+        self.selection.as_ref()
     }
 
     /// The streaming covariance accumulator (window occupancy, running
@@ -783,6 +860,26 @@ impl OnlineEstimator {
         Ok(())
     }
 
+    /// The exact cached Phase 1, run through the estimator's
+    /// *persistent* workspace — every fallback from the Givens path
+    /// funnels through here, so the all-rows fallback factor cached in
+    /// `scratch.phase1` survives between refreshes. (A throwaway
+    /// workspace here refactorised the fallback Gram from scratch on
+    /// every singular retry — the p99 refresh-tail spike.)
+    fn refresh_exact_fallback(&mut self, sigmas: &[f64]) -> Result<VarianceEstimate, LinalgError> {
+        let mut phase1 = std::mem::take(&mut self.scratch.phase1);
+        let est = estimate_variances_scratch(
+            &self.red,
+            &self.aug,
+            sigmas,
+            &self.cfg.variance,
+            &mut self.gram,
+            &mut phase1,
+        );
+        self.scratch.phase1 = phase1;
+        est
+    }
+
     /// Phase 1 with the Givens-amended factor: patch the Gram counts,
     /// rank-1-update/downdate the upper factor for the rows that moved
     /// between kept and dropped, and solve by two triangular solves.
@@ -798,11 +895,16 @@ impl OnlineEstimator {
             .map(|&s| !(cfg.drop_negative_covariances && s < 0.0))
             .collect();
         let (added, dropped) = self.gram.sync(self.aug.matrix(), nc, &new_kept);
+        if !added.is_empty() || !dropped.is_empty() {
+            // The cache mask moved without a kept solve: the kept
+            // factor in the persistent workspace is stale.
+            self.scratch.phase1.invalidate_kept_factor();
+        }
         let used = new_kept.iter().filter(|&&k| k).count();
         let dropped_count = self.aug.num_rows() - used;
         if used < nc {
             self.factor = None;
-            return estimate_variances_cached(&self.red, &self.aug, sigmas, cfg, &mut self.gram);
+            return self.refresh_exact_fallback(sigmas);
         }
         // Amend or (re)build the factor.
         let mut scratch = vec![0.0; nc];
@@ -834,9 +936,7 @@ impl OnlineEstimator {
                 Ok(chol) => self.factor = Some(chol.l().transpose()),
                 Err(_) => {
                     // Mirror the exact path's all-rows fallback.
-                    return estimate_variances_cached(
-                        &self.red, &self.aug, sigmas, cfg, &mut self.gram,
-                    );
+                    return self.refresh_exact_fallback(sigmas);
                 }
             }
         }
@@ -862,7 +962,7 @@ impl OnlineEstimator {
             }),
             Err(_) => {
                 self.factor = None;
-                estimate_variances_cached(&self.red, &self.aug, sigmas, cfg, &mut self.gram)
+                self.refresh_exact_fallback(sigmas)
             }
         }
     }
@@ -1034,6 +1134,100 @@ mod tests {
         for (wv, e) in sc.covariances().iter().zip(exact.iter()) {
             assert!((wv - e).abs() < 1e-6, "welford {wv} drifted from {e}");
         }
+    }
+
+    #[test]
+    fn pair_budget_restricts_estimator_pair_sweep() {
+        // A biting budget must shrink the augmented system (and with
+        // it the tracked pair set), keep Phase 1 solvable, and keep
+        // rank so the estimator still converges on clean streams.
+        let red = fixtures::reduced(&fixtures::figure2());
+        let full = AugmentedSystem::build(&red);
+        let rank = losstomo_linalg::rank(&full.to_dense());
+        let cfg = OnlineConfig {
+            pair_budget: PairBudget::Rows(rank),
+            ..OnlineConfig::default()
+        };
+        let mut est = OnlineEstimator::new(&red, cfg);
+        let sel = est.pair_selection().expect("budget bites on figure2");
+        assert!(est.augmented().num_rows() < full.num_rows());
+        assert_eq!(est.augmented().num_rows(), sel.rows.len());
+        assert_eq!(
+            est.covariance().pairs().len(),
+            est.augmented().num_rows(),
+            "covariance sweep tracks exactly the selected pairs"
+        );
+        let ms = simulate(&red, 30, 3);
+        for snapshot in &ms.snapshots {
+            est.ingest(snapshot).unwrap();
+        }
+        assert!(est.refresh_count() > 0);
+        assert!(est.variances().is_some());
+        // Full budget (the default with the env knob unset) is the
+        // identity.
+        let unbudgeted = OnlineEstimator::new(&red, OnlineConfig::default());
+        assert!(unbudgeted.pair_selection().is_none());
+        assert_eq!(unbudgeted.augmented().num_rows(), full.num_rows());
+    }
+
+    #[test]
+    fn recentre_cadence_pins_long_stream_drift() {
+        // ISSUE 6 regression: 10k windowed snapshots accumulate
+        // reverse-Welford rounding; the periodic exact recentre must
+        // keep the running moments within 1e-10 of the exact window
+        // covariance, and disabling it must still stay within the old
+        // loose tolerance.
+        let rows = synthetic_rows(10_000, 3);
+        let pairs = all_pairs(3);
+        let w = 16;
+        let mut with_recentre = StreamingCovariance::new(3, pairs.clone(), WindowMode::Sliding(w))
+            .with_recentre_every(256);
+        let mut without = StreamingCovariance::new(3, pairs.clone(), WindowMode::Sliding(w))
+            .with_recentre_every(0);
+        for row in &rows {
+            with_recentre.ingest(row);
+            without.ingest(row);
+        }
+        let exact = with_recentre.exact_covariances();
+        for ((&r, &n), &e) in with_recentre
+            .covariances()
+            .iter()
+            .zip(without.covariances().iter())
+            .zip(exact.iter())
+        {
+            assert!(
+                (r - e).abs() < 1e-10,
+                "recentred welford {r} drifted {:.3e} from exact {e}",
+                (r - e).abs()
+            );
+            assert!((n - e).abs() < 1e-6, "uncentred drift blew up: {n} vs {e}");
+        }
+    }
+
+    #[test]
+    fn recentre_is_invisible_to_exact_refreshes() {
+        // The online estimator's refreshes replay the window, so the
+        // cadence must not change a single estimate bit.
+        let red = fig1();
+        let ms = simulate(&red, 40, 9);
+        let base = OnlineConfig {
+            window: WindowMode::Sliding(12),
+            ..OnlineConfig::default()
+        };
+        let mut a = OnlineEstimator::new(&red, OnlineConfig { recentre_every: 4, ..base });
+        let mut b = OnlineEstimator::new(&red, OnlineConfig { recentre_every: 0, ..base });
+        for snapshot in &ms.snapshots {
+            let ua = a.ingest(snapshot).unwrap();
+            let ub = b.ingest(snapshot).unwrap();
+            match (ua.estimate, ub.estimate) {
+                (Some(ea), Some(eb)) => {
+                    assert_eq!(ea.transmission, eb.transmission, "estimates diverged")
+                }
+                (None, None) => {}
+                _ => panic!("warmup diverged"),
+            }
+        }
+        assert!(a.refresh_count() > 0, "premise: refreshes happened");
     }
 
     #[test]

@@ -14,19 +14,39 @@
 
 use crate::augmented::AugmentedSystem;
 use crate::covariance::CenteredMeasurements;
-use losstomo_linalg::{lstsq, LinalgError, LstsqBackend, Matrix, SpdScratch};
+use losstomo_linalg::{lstsq, LinalgError, LstsqBackend, Matrix, SparseQr, SpdScratch};
 use losstomo_topology::ReducedTopology;
+
+/// Which factorisation family solves the Phase-1 least squares,
+/// mirroring [`crate::lia::Phase2Dispatch`] for Phase 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Phase1Dispatch {
+    /// Dense family (per [`VarianceConfig::backend`]) up to
+    /// [`crate::lia::dense_phase2_max_cols`] columns, the row-streaming
+    /// sparse QR above — wide meshes pay `O(links³)` for the dense
+    /// Gram factorisation no matter how few rows feed it, while the
+    /// sparse QR's cost tracks the (budgetable) row count.
+    #[default]
+    Auto,
+    /// Always the dense family ([`VarianceConfig::backend`]).
+    Dense,
+    /// Always the sparse QR on the kept CSR rows.
+    Sparse,
+}
 
 /// Configuration for the variance estimator.
 #[derive(Debug, Clone, Copy)]
 pub struct VarianceConfig {
-    /// Least-squares backend. [`LstsqBackend::NormalEquations`]
-    /// accumulates `AᵀA` from sparse rows and is the default —
-    /// `A` has `O(n_p²)` rows but only `n_c` columns.
+    /// Least-squares backend of the *dense* family.
+    /// [`LstsqBackend::NormalEquations`] accumulates `AᵀA` from sparse
+    /// rows and is the default — `A` has `O(n_p²)` rows but only `n_c`
+    /// columns.
     pub backend: LstsqBackend,
     /// Drop rows whose sample covariance is negative (the paper's rule).
     /// Disable only for the `ablation_negative_cov` study.
     pub drop_negative_covariances: bool,
+    /// Dense-vs-sparse dispatch (see [`Phase1Dispatch`]).
+    pub dispatch: Phase1Dispatch,
 }
 
 impl Default for VarianceConfig {
@@ -34,6 +54,18 @@ impl Default for VarianceConfig {
         VarianceConfig {
             backend: LstsqBackend::NormalEquations,
             drop_negative_covariances: true,
+            dispatch: Phase1Dispatch::Auto,
+        }
+    }
+}
+
+impl Phase1Dispatch {
+    /// Whether Phase 1 takes the dense path for `nc` columns.
+    fn use_dense(self, nc: usize) -> bool {
+        match self {
+            Phase1Dispatch::Auto => nc <= crate::lia::dense_phase2_max_cols(),
+            Phase1Dispatch::Dense => true,
+            Phase1Dispatch::Sparse => false,
         }
     }
 }
@@ -93,6 +125,9 @@ pub fn estimate_variances_from_sigmas(
     sigmas: &[f64],
     cfg: &VarianceConfig,
 ) -> Result<VarianceEstimate, LinalgError> {
+    if !cfg.dispatch.use_dense(red.num_links()) {
+        return estimate_variances_sparse(red, aug, sigmas, cfg);
+    }
     if cfg.backend == LstsqBackend::NormalEquations {
         // The normal-equations path folds the retry into one assembly:
         // dropped-row contributions are recorded by index and added to
@@ -265,6 +300,16 @@ impl Phase1Scratch {
     pub fn new() -> Self {
         Phase1Scratch::default()
     }
+
+    /// Drops the kept-mask Cholesky factor. Callers that move the
+    /// shared [`GramCache`] mask *outside*
+    /// [`estimate_variances_scratch`] (the Givens refresh path syncs
+    /// the cache itself) must call this, or a later solve could reuse
+    /// a factor belonging to an older mask. The all-rows fallback
+    /// factor is unaffected — its Gram is a constant of the topology.
+    pub fn invalidate_kept_factor(&mut self) {
+        self.spd.invalidate();
+    }
 }
 
 /// [`estimate_variances_cached`] with a reusable [`Phase1Scratch`]
@@ -280,6 +325,12 @@ pub fn estimate_variances_scratch(
     cache: &mut GramCache,
     ws: &mut Phase1Scratch,
 ) -> Result<VarianceEstimate, LinalgError> {
+    if !cfg.dispatch.use_dense(red.num_links()) {
+        // The sparse family has no Gram to cache — refactoring the
+        // kept rows is the whole solve, and it is what keeps wide
+        // meshes off the `O(links³)` dense path.
+        return estimate_variances_sparse(red, aug, sigmas, cfg);
+    }
     assert_eq!(
         sigmas.len(),
         aug.num_rows(),
@@ -311,7 +362,23 @@ pub fn estimate_variances_scratch(
     // Unchanged mask ⇒ unchanged integer counts ⇒ the previous Gram
     // expansion and its factor are exactly this refresh's too.
     let factor_reusable = mask_unchanged && ws.spd.factor_is_cached(nc);
-    let first_error = if used >= nc {
+    // Structural-singularity precheck: a link no kept row covers is a
+    // zero Gram diagonal, so the kept Cholesky cannot succeed — skip
+    // the doomed `O(n_c³)` attempt and go straight to the fold-back.
+    // Only worth scanning when a fold-back exists (`dropped_count > 0`;
+    // otherwise the genuine error must surface) and the factor isn't
+    // already cached (a cached factor proves the mask solved before).
+    let structurally_singular = if used >= nc && dropped_count > 0 && !factor_reusable {
+        (0..nc).find(|&k| cache.counts()[k * nc + k] == 0)
+    } else {
+        None
+    };
+    let first_error = if let Some(index) = structurally_singular {
+        // The kept solve is skipped: its cached factor (if any, from an
+        // older mask) must not survive.
+        ws.spd.invalidate();
+        LinalgError::Singular { index }
+    } else if used >= nc {
         if !factor_reusable {
             ws.gram.reshape_uninit(nc, nc);
             counts_to_symmetric(cache.counts(), ws.gram.as_mut_slice(), nc);
@@ -380,6 +447,55 @@ pub(crate) fn counts_to_symmetric(counts: &[u32], gram: &mut [f64], n: usize) {
             gram[j * n + k] = v;
             gram[k * n + j] = v;
         }
+    }
+}
+
+/// Phase 1 on wide meshes: least squares on the kept CSR rows via the
+/// row-streaming Givens QR — the dense family factors an
+/// `O(links³)` Gram no matter how few rows survive the budget/drop,
+/// while this path's cost tracks the row count (which is exactly what
+/// the pair budget caps). Same drop-negative/fold-back semantics as
+/// the dense paths.
+fn estimate_variances_sparse(
+    red: &ReducedTopology,
+    aug: &AugmentedSystem,
+    sigmas: &[f64],
+    cfg: &VarianceConfig,
+) -> Result<VarianceEstimate, LinalgError> {
+    let nc = red.num_links();
+    let solve = |drop_neg: bool| -> Result<VarianceEstimate, LinalgError> {
+        let mut builder = losstomo_topology::matrix::RoutingMatrix::builder(nc);
+        let mut rhs: Vec<f64> = Vec::new();
+        let mut dropped = 0usize;
+        for ((_, links), &sigma) in aug.iter().zip(sigmas.iter()) {
+            if drop_neg && sigma < 0.0 {
+                dropped += 1;
+                continue;
+            }
+            builder.push_sorted_row(links);
+            rhs.push(sigma);
+        }
+        let used = rhs.len();
+        if used < nc {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "only {used} usable covariance rows for {nc} links"
+            )));
+        }
+        let qr = SparseQr::new(builder.build().to_sparse())?;
+        if !qr.has_full_column_rank() {
+            return Err(LinalgError::Singular { index: 0 });
+        }
+        let v = qr.solve_least_squares(&rhs)?;
+        Ok(VarianceEstimate {
+            v,
+            dropped_rows: if drop_neg { dropped } else { 0 },
+            used_rows: used,
+        })
+    };
+    match solve(cfg.drop_negative_covariances) {
+        Ok(est) => Ok(est),
+        Err(_) if cfg.drop_negative_covariances => solve(false),
+        Err(e) => Err(e),
     }
 }
 
@@ -464,7 +580,7 @@ mod tests {
             &centered,
             &VarianceConfig {
                 backend,
-                drop_negative_covariances: true,
+                ..VarianceConfig::default()
             },
         )
         .unwrap();
@@ -493,6 +609,32 @@ mod tests {
         let (v2, _) = phase1_on_figure1(LstsqBackend::HouseholderQr);
         for (a, b) in v1.iter().zip(v2.iter()) {
             assert!((a - b).abs() < 1e-8, "{v1:?} vs {v2:?}");
+        }
+    }
+
+    /// The sparse Phase-1 family must solve the same least-squares
+    /// problem as the dense ones (the corrected seminormal solve is
+    /// accurate to ~1e-12 of the dense QR on these well-conditioned
+    /// systems).
+    #[test]
+    fn sparse_dispatch_agrees_with_dense() {
+        let red = fixtures::reduced(&fixtures::figure1());
+        let aug = AugmentedSystem::build(&red);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut scenario =
+            CongestionScenario::draw(red.num_links(), 0.3, CongestionDynamics::Fixed, &mut rng);
+        let ms = simulate_run(&red, &mut scenario, &ProbeConfig::default(), 400, &mut rng);
+        let centered = CenteredMeasurements::new(&ms);
+        let dense = estimate_variances(&red, &aug, &centered, &VarianceConfig::default()).unwrap();
+        let sparse_cfg = VarianceConfig {
+            dispatch: Phase1Dispatch::Sparse,
+            ..VarianceConfig::default()
+        };
+        let sparse = estimate_variances(&red, &aug, &centered, &sparse_cfg).unwrap();
+        assert_eq!(sparse.used_rows, dense.used_rows);
+        assert_eq!(sparse.dropped_rows, dense.dropped_rows);
+        for (a, b) in sparse.v.iter().zip(dense.v.iter()) {
+            assert!((a - b).abs() < 1e-8, "{:?} vs {:?}", sparse.v, dense.v);
         }
     }
 

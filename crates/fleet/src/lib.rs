@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use losstomo_core::budget::PairBudget;
 use losstomo_core::streaming::{OnlineConfig, OnlineEstimator};
 use losstomo_netsim::Snapshot;
 use losstomo_topology::ReducedTopology;
@@ -74,6 +75,12 @@ pub struct FleetConfig {
     /// parallelism capped by `LOSSTOMO_THREADS`. Results are identical
     /// at any setting; the knob trades wall-clock for CPU occupancy.
     pub workers: Option<usize>,
+    /// Fleet-wide default pair budget: tenants whose
+    /// [`OnlineConfig::pair_budget`] is unspecified
+    /// ([`PairBudget::Env`]) inherit this at registration. The default
+    /// is itself [`PairBudget::Env`], so with nothing configured the
+    /// `LOSSTOMO_PAIR_BUDGET` knob decides (full when unset).
+    pub pair_budget: PairBudget,
 }
 
 impl Default for FleetConfig {
@@ -81,6 +88,7 @@ impl Default for FleetConfig {
         FleetConfig {
             queue_capacity: 64,
             workers: None,
+            pair_budget: PairBudget::default(),
         }
     }
 }
@@ -93,6 +101,10 @@ pub enum FleetError {
     QueueFull(TenantId),
     /// The tenant id does not belong to this fleet.
     UnknownTenant(TenantId),
+    /// The tenant was quarantined after a panicking ingest and no
+    /// longer accepts snapshots (see
+    /// [`FleetEventKind::TenantQuarantined`]).
+    Quarantined(TenantId),
 }
 
 impl fmt::Display for FleetError {
@@ -100,6 +112,9 @@ impl fmt::Display for FleetError {
         match self {
             FleetError::QueueFull(t) => write!(f, "snapshot queue of {t} is full"),
             FleetError::UnknownTenant(t) => write!(f, "{t} is not registered in this fleet"),
+            FleetError::Quarantined(t) => {
+                write!(f, "{t} is quarantined after a panicking ingest")
+            }
         }
     }
 }
@@ -137,6 +152,17 @@ pub enum FleetEventKind {
         /// The estimator's error, stringified.
         message: String,
     },
+    /// The tenant's ingest *panicked* (e.g. a malformed snapshot
+    /// tripping an invariant). The unwind is caught at the tenant
+    /// boundary: this tenant is quarantined — its estimator is never
+    /// touched again and new snapshots are refused with
+    /// [`FleetError::Quarantined`] — while every other tenant keeps
+    /// running. Before this event existed, one panicking tenant
+    /// aborted [`Fleet::drain`] for the whole fleet.
+    TenantQuarantined {
+        /// The panic payload, stringified.
+        message: String,
+    },
 }
 
 /// Per-tenant bookkeeping the fleet exposes for observability.
@@ -150,6 +176,8 @@ pub struct TenantStats {
     pub queued: usize,
     /// Ingests that failed with an estimator error.
     pub errors: u64,
+    /// Whether the tenant is quarantined after a panicking ingest.
+    pub quarantined: bool,
 }
 
 /// One registered tenant: its estimator plus the receive side of its
@@ -160,16 +188,28 @@ struct Tenant {
     rx: Receiver<Snapshot>,
     ingested: u64,
     errors: u64,
+    /// Set when an ingest panicked: the estimator may hold broken
+    /// invariants, so it is never touched again.
+    quarantined: bool,
 }
 
 impl Tenant {
     /// Drains every queued snapshot through the estimator, appending
-    /// one event per congested-set change (or error) to `events`.
+    /// one event per congested-set change (or error) to `events`. A
+    /// *panicking* ingest is caught here — the tenant boundary — and
+    /// quarantines this tenant only, instead of unwinding through the
+    /// worker pool and poisoning the whole fleet.
     fn drain(&mut self, id: TenantId, events: &mut Vec<FleetEvent>) {
+        if self.quarantined {
+            return;
+        }
         while let Ok(snapshot) = self.rx.try_recv() {
             self.ingested += 1;
-            match self.estimator.ingest(&snapshot) {
-                Ok(update) => {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.estimator.ingest(&snapshot)
+            }));
+            match outcome {
+                Ok(Ok(update)) => {
                     if !update.appeared.is_empty() || !update.cleared.is_empty() {
                         events.push(FleetEvent {
                             tenant: id,
@@ -182,7 +222,7 @@ impl Tenant {
                         });
                     }
                 }
-                Err(e) => {
+                Ok(Err(e)) => {
                     self.errors += 1;
                     events.push(FleetEvent {
                         tenant: id,
@@ -192,8 +232,31 @@ impl Tenant {
                         },
                     });
                 }
+                Err(payload) => {
+                    self.quarantined = true;
+                    self.errors += 1;
+                    events.push(FleetEvent {
+                        tenant: id,
+                        seq: self.ingested,
+                        kind: FleetEventKind::TenantQuarantined {
+                            message: panic_message(payload),
+                        },
+                    });
+                    return;
+                }
             }
         }
+    }
+}
+
+/// Best-effort stringification of a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "tenant ingest panicked".to_string()
     }
 }
 
@@ -245,8 +308,10 @@ impl Fleet {
         &mut self,
         name: impl Into<String>,
         red: &ReducedTopology,
-        online: OnlineConfig,
+        mut online: OnlineConfig,
     ) -> TenantId {
+        // A tenant with no explicit pair budget inherits the fleet's.
+        online.pair_budget = online.pair_budget.or(self.cfg.pair_budget);
         let id = TenantId(self.tenants.len());
         let (tx, rx) = bounded(self.cfg.queue_capacity);
         self.tenants.push(Tenant {
@@ -255,6 +320,7 @@ impl Fleet {
             rx,
             ingested: 0,
             errors: 0,
+            quarantined: false,
         });
         self.senders.push(tx);
         id
@@ -294,17 +360,23 @@ impl Fleet {
             refreshes: t.estimator.refresh_count(),
             queued: t.rx.len(),
             errors: t.errors,
+            quarantined: t.quarantined,
         }
     }
 
     /// Enqueues one snapshot for a tenant without blocking. Fails with
     /// [`FleetError::QueueFull`] when the tenant's bounded queue is at
-    /// capacity — the backpressure signal; [`Fleet::drain`] frees it.
+    /// capacity — the backpressure signal; [`Fleet::drain`] frees it —
+    /// and with [`FleetError::Quarantined`] when the tenant was
+    /// quarantined by a panicking ingest (nothing is silently dropped).
     pub fn enqueue(&self, id: TenantId, snapshot: Snapshot) -> Result<(), FleetError> {
         let tx = self
             .senders
             .get(id.0)
             .ok_or(FleetError::UnknownTenant(id))?;
+        if self.tenants[id.0].quarantined {
+            return Err(FleetError::Quarantined(id));
+        }
         match tx.try_send(snapshot) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(_)) => Err(FleetError::QueueFull(id)),
@@ -369,6 +441,14 @@ impl Fleet {
     ) -> Result<Vec<FleetEvent>, FleetError> {
         let mut events = Vec::new();
         for (id, snapshot) in batch {
+            if self
+                .tenants
+                .get(id.0)
+                .ok_or(FleetError::UnknownTenant(id))?
+                .quarantined
+            {
+                return Err(FleetError::Quarantined(id));
+            }
             let first = self
                 .senders
                 .get(id.0)
@@ -378,9 +458,15 @@ impl Fleet {
                 Ok(()) => {}
                 Err(TrySendError::Full(snapshot)) => {
                     // Backpressure: service the queues, then retry.
-                    // The drain left every queue empty and capacity is
-                    // ≥ 1, so the retry cannot fail.
+                    // The drain left every live tenant's queue empty
+                    // and capacity is ≥ 1, so the retry cannot fail —
+                    // unless this very drain quarantined the tenant
+                    // (its queue keeps its leftovers), which must
+                    // surface rather than silently drop the snapshot.
                     events.append(&mut self.drain());
+                    if self.tenants[id.0].quarantined {
+                        return Err(FleetError::Quarantined(id));
+                    }
                     self.senders[id.0]
                         .try_send(snapshot)
                         .map_err(|_| FleetError::QueueFull(id))?;
@@ -432,6 +518,7 @@ mod tests {
         let mut fleet = Fleet::new(FleetConfig {
             queue_capacity: 2,
             workers: Some(1),
+            ..FleetConfig::default()
         });
         let t = fleet.add_tenant("net-0", &red, OnlineConfig::default());
         let ms = simulate(&red, 3, 1);
@@ -466,6 +553,7 @@ mod tests {
         let mut fleet = Fleet::new(FleetConfig {
             queue_capacity: 2,
             workers: Some(2),
+            ..FleetConfig::default()
         });
         let a = fleet.add_tenant("a", &red, OnlineConfig::default());
         let b = fleet.add_tenant("b", &red, OnlineConfig::default());
@@ -516,7 +604,8 @@ mod tests {
                     current.sort_unstable();
                     assert_eq!(&current, congested);
                 }
-                FleetEventKind::EstimatorError { message } => {
+                FleetEventKind::EstimatorError { message }
+                | FleetEventKind::TenantQuarantined { message } => {
                     panic!("unexpected estimator error: {message}")
                 }
             }
@@ -525,11 +614,164 @@ mod tests {
     }
 
     #[test]
+    fn panicking_tenant_is_quarantined_not_fatal() {
+        let red1 = fig1();
+        let red2 = fixtures::reduced(&fixtures::figure2());
+        // Two tenants on two workers: the panic unwinds inside a shard
+        // thread and must still be contained to its tenant.
+        let mut fleet = Fleet::new(FleetConfig {
+            workers: Some(2),
+            ..FleetConfig::default()
+        });
+        let a = fleet.add_tenant("bad", &red1, OnlineConfig::default());
+        let b = fleet.add_tenant("good", &red1, OnlineConfig::default());
+        let good = simulate(&red1, 6, 11);
+        // A figure-2 snapshot covers a different path count, so tenant
+        // a's ingest trips the estimator's invariant and panics.
+        let bad = simulate(&red2, 1, 12);
+        for s in &good.snapshots {
+            fleet.enqueue(b, s.clone()).unwrap();
+        }
+        fleet.enqueue(a, good.snapshots[0].clone()).unwrap();
+        fleet.enqueue(a, bad.snapshots[0].clone()).unwrap();
+        fleet.enqueue(a, good.snapshots[1].clone()).unwrap();
+        let events = fleet.drain();
+        let quarantines: Vec<&FleetEvent> = events
+            .iter()
+            .filter(|e| matches!(e.kind, FleetEventKind::TenantQuarantined { .. }))
+            .collect();
+        assert_eq!(quarantines.len(), 1, "exactly one quarantine event");
+        assert_eq!(quarantines[0].tenant, a);
+        assert_eq!(quarantines[0].seq, 2, "poison pill was a's 2nd snapshot");
+        if let FleetEventKind::TenantQuarantined { message } = &quarantines[0].kind {
+            assert!(
+                message.contains("snapshot covers"),
+                "panic payload not forwarded: {message}"
+            );
+        }
+        assert!(fleet.stats(a).quarantined);
+        assert_eq!(fleet.stats(a).errors, 1);
+        // The snapshot behind the poison pill stays queued, not dropped.
+        assert_eq!(fleet.stats(a).queued, 1);
+        // The healthy tenant was untouched by its neighbour's panic…
+        assert!(!fleet.stats(b).quarantined);
+        assert_eq!(fleet.stats(b).ingested, 6);
+        // …and keeps running.
+        fleet.enqueue(b, good.snapshots[0].clone()).unwrap();
+        fleet.drain();
+        assert_eq!(fleet.stats(b).ingested, 7);
+        // The quarantined tenant refuses new snapshots loudly.
+        assert_eq!(
+            fleet.enqueue(a, good.snapshots[2].clone()),
+            Err(FleetError::Quarantined(a))
+        );
+        assert_eq!(
+            fleet
+                .ingest_batch([(a, good.snapshots[2].clone())])
+                .unwrap_err(),
+            FleetError::Quarantined(a)
+        );
+        // Draining again must not touch a's estimator (nothing new
+        // ingested despite the queued leftover).
+        fleet.drain();
+        assert_eq!(fleet.stats(a).ingested, 2);
+    }
+
+    #[test]
+    fn tenants_inherit_fleet_pair_budget() {
+        let red = fig1();
+        let mut fleet = Fleet::new(FleetConfig {
+            pair_budget: PairBudget::Rows(1),
+            ..FleetConfig::default()
+        });
+        // Default (Env) tenant config inherits the fleet's budget…
+        let inherit = fleet.add_tenant("inherit", &red, OnlineConfig::default());
+        // …an explicit tenant setting wins over it.
+        let explicit = fleet.add_tenant(
+            "explicit",
+            &red,
+            OnlineConfig {
+                pair_budget: PairBudget::Full,
+                ..OnlineConfig::default()
+            },
+        );
+        let sel = fleet
+            .estimator(inherit)
+            .pair_selection()
+            .expect("inherited budget must bite");
+        assert!(sel.rows.len() < fleet.estimator(explicit).augmented().num_rows());
+        assert!(fleet.estimator(explicit).pair_selection().is_none());
+        // The budgeted tenant still estimates.
+        let ms = simulate(&red, 25, 13);
+        fleet
+            .ingest_batch(ms.snapshots.iter().cloned().map(|s| (inherit, s)))
+            .unwrap();
+        assert!(fleet.estimator(inherit).variances().is_some());
+    }
+
+    #[test]
+    fn ingest_batch_partial_drains_preserve_order_and_drop_nothing() {
+        let red = fig1();
+        // Capacity 2 forces several intermediate drains inside one
+        // batch; two workers exercise the sharded path.
+        let mut fleet = Fleet::new(FleetConfig {
+            queue_capacity: 2,
+            workers: Some(2),
+            ..FleetConfig::default()
+        });
+        let a = fleet.add_tenant("a", &red, OnlineConfig::default());
+        let b = fleet.add_tenant("b", &red, OnlineConfig::default());
+        let m = 13;
+        let ms_a = simulate(&red, m, 21);
+        let ms_b = simulate(&red, m, 22);
+        // Uneven interleave (2:1) so the queues fill at different
+        // points in the batch.
+        let mut batch: Vec<(TenantId, Snapshot)> = Vec::new();
+        let mut b_count = 0usize;
+        for (i, s) in ms_a.snapshots.iter().enumerate() {
+            batch.push((a, s.clone()));
+            if i % 2 == 0 {
+                batch.push((b, ms_b.snapshots[b_count].clone()));
+                b_count += 1;
+            }
+        }
+        let events = fleet.ingest_batch(batch).unwrap();
+        // Per-tenant seq must be strictly increasing across the whole
+        // event stream even though it spans multiple partial drains.
+        let mut last_seq = [0u64; 2];
+        for e in &events {
+            assert!(
+                e.seq > last_seq[e.tenant.index()],
+                "per-tenant event order violated for {}: {} after {}",
+                e.tenant,
+                e.seq,
+                last_seq[e.tenant.index()]
+            );
+            last_seq[e.tenant.index()] = e.seq;
+        }
+        // No snapshot was silently dropped.
+        assert_eq!(fleet.stats(a).ingested, m as u64);
+        assert_eq!(fleet.stats(b).ingested, b_count as u64);
+        assert_eq!(fleet.stats(a).queued, 0);
+        assert_eq!(fleet.stats(b).queued, 0);
+        // Each tenant saw exactly the stream it would see standalone.
+        let mut solo = OnlineEstimator::new(&red, OnlineConfig::default());
+        for s in &ms_a.snapshots {
+            solo.ingest(s).unwrap();
+        }
+        assert_eq!(
+            fleet.estimator(a).congested_links(),
+            solo.congested_links()
+        );
+    }
+
+    #[test]
     fn workers_resolve_against_tenant_count() {
         let red = fig1();
         let mut fleet = Fleet::new(FleetConfig {
             queue_capacity: 4,
             workers: Some(8),
+            ..FleetConfig::default()
         });
         assert_eq!(fleet.workers(), 1, "no tenants → one (idle) worker");
         for i in 0..3 {

@@ -49,7 +49,7 @@ pub use pivoted_qr::PivotedQr;
 pub use qr::Qr;
 pub use rank::{rank, rank_with_tol, DEFAULT_RANK_TOL};
 pub use sparse::CsrMatrix;
-pub use sparse_qr::SparseQr;
+pub use sparse_qr::{row_basis, SparseQr};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;

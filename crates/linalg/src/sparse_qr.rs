@@ -242,6 +242,45 @@ impl SparseQr {
             .position(|m| !matches!(m, Some(v) if *v > threshold))
     }
 
+    /// Statistical leverage of a binary row against this factor:
+    /// `‖R⁻ᵀ a‖²` where `a` is the 0/1 row with ones at `links`
+    /// (ascending column indices). For a row of the factored matrix
+    /// this is its classical leverage score `aᵀ(AᵀA)⁻¹a`; pair
+    /// budgeting uses it to rank redundant rows by how much of the
+    /// factor's information they carry. Returns `None` when the solve
+    /// reaches a column without a sound installed triangular row (the
+    /// factor does not span the row).
+    pub fn leverage_of_row(&self, links: &[usize]) -> Option<f64> {
+        let n = self.a.cols();
+        if links.iter().any(|&k| k >= n) {
+            return None;
+        }
+        let threshold = crate::rank::DEFAULT_RANK_TOL * self.scale;
+        // Forward solve Rᵀ z = a, right-looking; z stays mostly sparse
+        // for short rows, so zero entries are skipped.
+        let mut z = vec![0.0; n];
+        for &k in links {
+            z[k] = 1.0;
+        }
+        let mut sum_sq = 0.0;
+        for j in 0..n {
+            if z[j] == 0.0 {
+                continue;
+            }
+            let row = match &self.r_rows[j] {
+                Some(row) if matches!(self.row_max[j], Some(m) if m > threshold) => row,
+                _ => return None,
+            };
+            let zj = z[j] / row[0].1;
+            z[j] = zj;
+            sum_sq += zj * zj;
+            for &(k, v) in &row[1..] {
+                z[k] -= v * zj;
+            }
+        }
+        Some(sum_sq)
+    }
+
     /// Solves `RᵀR x = c` by two sparse triangular solves.
     fn solve_seminormal(&self, c: &[f64]) -> Vec<f64> {
         let n = self.a.cols();
@@ -327,6 +366,151 @@ fn rotate_rows(
     }
     std::mem::swap(rj, merged);
     std::mem::swap(work, rotated);
+}
+
+/// Streams the rows of `a` in the caller's `order` through the Givens
+/// factorisation and returns the indices (ascending) of the rows that
+/// *own a sound triangular diagonal* at the end — a greedy row basis
+/// of `a` certified by the factorisation itself.
+///
+/// A row is reported iff, after rotating against every resident
+/// triangular row it meets, it still claims an empty diagonal slot: in
+/// exact arithmetic that happens exactly when the row is linearly
+/// independent of the rows visited before it, so the reported set is a
+/// row basis (size = rank) of the prefix ordering. The same noise-lead
+/// drop rule as [`SparseQr`] keeps numerically-annihilated rows from
+/// claiming a column with cancellation residue. Streaming stops early
+/// once every column's diagonal is installed (rank can't grow past
+/// `cols`), which is what makes the certificate cheap on tall
+/// pair-augmented systems.
+pub fn row_basis(a: &CsrMatrix, order: &[usize]) -> Vec<usize> {
+    let tol = crate::rank::DEFAULT_RANK_TOL;
+    let n = a.cols();
+    let mut r_rows: Vec<Option<SparseRow>> = Vec::new();
+    r_rows.resize_with(n, || None);
+    let mut installed = 0usize;
+    // Install events in visit order: (input row index, installed row's
+    // largest entry, alive). A dependent row can claim a column with
+    // cancellation residue (`SparseQr` tolerates this — later merges
+    // make the resident sound — but the *attribution* would be wrong
+    // here), so a sound incoming row evicts a residue resident, taking
+    // over its column and its credit; the displaced residue is
+    // numerically zero and is discarded. Soundness of what remains is
+    // judged at the end against the factor's overall scale.
+    let mut events: Vec<(usize, f64, bool)> = Vec::new();
+    let mut owner: Vec<usize> = vec![usize::MAX; n];
+    let mut scale = 0.0_f64;
+    let mut min_alive = f64::INFINITY;
+    let mut work: SparseRow = Vec::new();
+    let mut merged: SparseRow = Vec::new();
+    let mut rotated: SparseRow = Vec::new();
+    // `min_alive` tracks *install-time* magnitudes, but rotations only
+    // grow a resident's diagonal — so when the install-time minimum
+    // looks unsound, re-judge against the residents' current
+    // magnitudes before streaming on (cadence-limited: the recompute
+    // walks the whole factor). A factor with a *genuinely* tiny
+    // resident would otherwise stream every remaining row hunting for
+    // an eviction that never comes, so the hunt gets a bounded
+    // patience window; a basis mis-certified inside that window is the
+    // caller's concern (the pair-budget selector re-certifies with an
+    // exact Gram factorisation).
+    let mut until_refresh = 0usize;
+    let mut patience = 4 * n.max(64);
+    for &i in order {
+        // Stop once every column is soundly owned: rank can't grow
+        // past `cols`, and no remaining row can evict a sound owner.
+        if installed == n {
+            if min_alive > tol * scale {
+                break;
+            }
+            if until_refresh == 0 {
+                min_alive = r_rows
+                    .iter()
+                    .flatten()
+                    .map(|rj| {
+                        rj.iter().map(|&(_, v)| v.abs()).fold(0.0_f64, f64::max)
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                until_refresh = 256;
+                if min_alive > tol * scale {
+                    break;
+                }
+            }
+            until_refresh -= 1;
+            if patience == 0 {
+                break;
+            }
+            patience -= 1;
+        }
+        work.clear();
+        work.extend(a.row(i));
+        while let Some(&(j, wj)) = work.first() {
+            // Same noise-lead rule as `SparseQr::refactor`: a leading
+            // entry that is rounding noise relative to the row's
+            // remaining mass must not claim a column.
+            let wmax = work.iter().map(|&(_, v)| v.abs()).fold(0.0_f64, f64::max);
+            if wj.abs() <= tol * wmax {
+                work.remove(0);
+                continue;
+            }
+            match &mut r_rows[j] {
+                slot @ None => {
+                    *slot = Some(work.clone());
+                    installed += 1;
+                    owner[j] = events.len();
+                    events.push((i, wmax, true));
+                    scale = scale.max(wmax);
+                    min_alive = min_alive.min(wmax);
+                    break;
+                }
+                Some(rj) => {
+                    let rj_max =
+                        rj.iter().map(|&(_, v)| v.abs()).fold(0.0_f64, f64::max);
+                    if rj_max <= tol * wmax {
+                        // Residue eviction: the resident is rounding
+                        // noise next to the incoming row.
+                        rj.clear();
+                        rj.extend_from_slice(&work);
+                        events[owner[j]].2 = false;
+                        owner[j] = events.len();
+                        events.push((i, wmax, true));
+                        scale = scale.max(wmax);
+                        min_alive = events
+                            .iter()
+                            .filter(|e| e.2)
+                            .map(|e| e.1)
+                            .fold(f64::INFINITY, f64::min);
+                        break;
+                    }
+                    rotate_rows(rj, &mut work, &mut merged, &mut rotated)
+                }
+            }
+        }
+    }
+    // Classification mirrors `SparseQr`'s rank rule: a column counts
+    // iff its *final* resident row — which later rotations keep
+    // updating, and can grow well past the install-time magnitude — is
+    // sound against the factor's overall scale. The credit goes to the
+    // column's owner (the row that installed it, or evicted a residue
+    // to take it over).
+    let row_max =
+        |rj: &SparseRow| rj.iter().map(|&(_, v)| v.abs()).fold(0.0_f64, f64::max);
+    let scale = r_rows
+        .iter()
+        .flatten()
+        .map(&row_max)
+        .fold(scale, f64::max);
+    let threshold = tol * scale;
+    let mut basis: Vec<usize> = r_rows
+        .iter()
+        .enumerate()
+        .filter_map(|(j, slot)| {
+            let rj = slot.as_ref()?;
+            (row_max(rj) > threshold).then(|| events[owner[j]].0)
+        })
+        .collect();
+    basis.sort_unstable();
+    basis
 }
 
 #[cfg(test)]
@@ -436,6 +620,82 @@ mod tests {
         let a = binary(&[&[0, 1, 3], &[1, 2, 4]], 5);
         let qr = SparseQr::new(a).unwrap();
         assert_eq!(qr.rank(), 2);
+    }
+
+    #[test]
+    fn row_basis_matches_rank_and_spans() {
+        // Figure-1 augmented matrix: 6 rows, rank 5 — exactly one row
+        // is redundant under any visiting order.
+        let a = binary(
+            &[
+                &[0, 1],
+                &[0, 2, 3],
+                &[0, 2, 4],
+                &[0],
+                &[0, 2],
+                &[0, 2],
+            ],
+            5,
+        );
+        let order: Vec<usize> = (0..a.rows()).collect();
+        let basis = row_basis(&a, &order);
+        assert_eq!(basis.len(), 5);
+        // Rows 4 and 5 are duplicates; exactly one of them is in the
+        // basis under natural order (the first).
+        assert!(basis.contains(&4) && !basis.contains(&5));
+        // The basis rows alone have full column rank.
+        let mut b = CsrBuilder::new(5);
+        for &i in &basis {
+            let links: Vec<usize> = a.row(i).map(|(k, _)| k).collect();
+            b.push_binary_row(&links).unwrap();
+        }
+        assert!(SparseQr::new(b.build()).unwrap().has_full_column_rank());
+        // A reversed order picks a different — but equally sized — basis.
+        let rev: Vec<usize> = order.iter().rev().copied().collect();
+        assert_eq!(row_basis(&a, &rev).len(), 5);
+    }
+
+    #[test]
+    fn row_basis_on_deficient_matrix_reports_rank() {
+        // Column 2 never separates from 0+1: rank 2 of 3 columns.
+        let mut b = CsrBuilder::new(3);
+        b.push_row(&[(0, 1.0), (2, 1.0)]).unwrap();
+        b.push_row(&[(1, 1.0), (2, 1.0)]).unwrap();
+        b.push_row(&[(0, 1.0), (1, 1.0), (2, 2.0)]).unwrap();
+        let a = b.build();
+        assert_eq!(row_basis(&a, &[0, 1, 2]).len(), 2);
+    }
+
+    #[test]
+    fn leverage_scores_of_factored_rows_sum_to_rank() {
+        // For full-column-rank A the leverages a_iᵀ(AᵀA)⁻¹a_i sum to
+        // trace(H) = rank = n.
+        let a = binary(
+            &[&[0, 1], &[1, 2], &[0, 2, 3], &[3], &[0, 1, 2, 3], &[2]],
+            4,
+        );
+        let rows: Vec<Vec<usize>> = (0..a.rows())
+            .map(|i| a.row(i).map(|(k, _)| k).collect())
+            .collect();
+        let qr = SparseQr::new(a).unwrap();
+        let total: f64 = rows
+            .iter()
+            .map(|r| qr.leverage_of_row(r).unwrap())
+            .sum();
+        assert!((total - 4.0).abs() < 1e-10, "leverages sum to {total}");
+    }
+
+    #[test]
+    fn leverage_is_none_outside_span() {
+        // Rank-deficient factor: leverage of a row touching the dead
+        // column is undefined.
+        let mut b = CsrBuilder::new(3);
+        b.push_row(&[(0, 1.0), (2, 1.0)]).unwrap();
+        b.push_row(&[(1, 1.0), (2, 1.0)]).unwrap();
+        let a = b.build();
+        let qr = SparseQr::new(a).unwrap();
+        assert!(qr.leverage_of_row(&[0, 1, 2]).is_none());
+        assert!(qr.leverage_of_row(&[7]).is_none());
     }
 
     #[test]

@@ -112,6 +112,7 @@ fn run_fleet(
     let mut fleet = Fleet::new(FleetConfig {
         queue_capacity,
         workers,
+        ..FleetConfig::default()
     });
     let ids: Vec<TenantId> = topologies
         .iter()
@@ -168,7 +169,8 @@ fn assert_fleet_matches_reference(
                 FleetEventKind::CongestionChanged {
                     appeared, cleared, ..
                 } => (e.seq, appeared.clone(), cleared.clone()),
-                FleetEventKind::EstimatorError { message } => {
+                FleetEventKind::EstimatorError { message }
+                | FleetEventKind::TenantQuarantined { message } => {
                     panic!("tenant {t}: unexpected estimator error: {message}")
                 }
             })
