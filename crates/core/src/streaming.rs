@@ -66,7 +66,7 @@ use losstomo_linalg::{
     SparseQr,
 };
 use losstomo_netsim::Snapshot;
-use losstomo_topology::ReducedTopology;
+use losstomo_topology::{ChurnError, DeltaEffect, PathId, ReducedTopology, TopologyDelta};
 use std::collections::VecDeque;
 
 /// Default sliding-window recentre cadence, in evictions: frequent
@@ -127,6 +127,41 @@ pub struct StreamingCovariance {
     delta_old: Vec<f64>,
     /// Scratch: per-path deviations from the post-update mean.
     delta_new: Vec<f64>,
+    /// Per pair: the global ingest index (count of rows ever ingested
+    /// before validity) from which the pair's history describes its
+    /// *current* routing. `0` for pairs never touched by churn; set to
+    /// `total_ingested` when a churn event restarts the pair. Exact
+    /// replays never read a pair's rows before this horizon.
+    valid_from: Vec<u64>,
+    /// `max(valid_from)` — `O(1)` churn-free check per refresh.
+    max_valid_from: u64,
+}
+
+/// Progress of the post-churn window flush — how far the estimator is
+/// from re-entering its exactness contract after a routing change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Staleness {
+    /// Retained snapshots that predate the most recent churn event
+    /// (their rows describe old routing for at least one pair).
+    pub stale_rows: usize,
+    /// Pairs restarted by churn that still have fewer than two valid
+    /// snapshots — their covariances read `0.0` (no signal yet) until
+    /// they warm up.
+    pub warming_pairs: usize,
+    /// Snapshots until every retained row postdates the last churn —
+    /// the flush point at which estimates become bit-identical to a
+    /// fresh estimator on the new topology. `Some(0)` = churn-free
+    /// now; `None` = never ([`WindowMode::Unbounded`] retains stale
+    /// rows forever, and [`WindowMode::Exponential`] has no replay
+    /// window to flush).
+    pub snapshots_until_flush: Option<u64>,
+}
+
+impl Staleness {
+    /// Whether the window is churn-free (the exactness gate holds).
+    pub fn is_flushed(&self) -> bool {
+        self.snapshots_until_flush == Some(0)
+    }
 }
 
 impl StreamingCovariance {
@@ -168,6 +203,8 @@ impl StreamingCovariance {
             comoment: vec![0.0; n_pairs],
             delta_old: vec![0.0; n_paths],
             delta_new: vec![0.0; n_paths],
+            valid_from: vec![0; n_pairs],
+            max_valid_from: 0,
         }
     }
 
@@ -388,8 +425,198 @@ impl StreamingCovariance {
     /// The exact pair covariances of the retained window — bit-identical
     /// to the batch [`CenteredMeasurements::pair_covariances`] over the
     /// same rows (same panics as [`StreamingCovariance::centered`]).
+    /// While the window still holds pre-churn rows, each pair's replay
+    /// is restricted to its valid suffix (see
+    /// [`StreamingCovariance::apply_churn`]); pairs with fewer than two
+    /// valid rows read `0.0`.
     pub fn exact_covariances(&self) -> Vec<f64> {
-        self.centered().pair_covariances(&self.pairs)
+        if self.is_churn_free() {
+            self.centered().pair_covariances(&self.pairs)
+        } else {
+            assert!(
+                !matches!(self.mode, WindowMode::Exponential(_)),
+                "exact replay is unavailable under exponential forgetting"
+            );
+            let mut centered = CenteredMeasurements::empty();
+            let mut out = Vec::new();
+            self.grouped_exact_covariances_into(&mut centered, &mut out);
+            out
+        }
+    }
+
+    /// Global ingest index of the oldest retained row.
+    fn window_start(&self) -> u64 {
+        self.total_ingested - self.rows.len() as u64
+    }
+
+    /// Whether every retained row postdates the last churn event — the
+    /// gate for the exactness contract (a churn-free window replays
+    /// bit-identically to a fresh accumulator fed the same rows).
+    /// Always `true` before the first [`StreamingCovariance::apply_churn`].
+    pub fn is_churn_free(&self) -> bool {
+        self.max_valid_from <= self.window_start()
+    }
+
+    /// How far the window is from flushing its pre-churn history — see
+    /// [`Staleness`].
+    pub fn staleness(&self) -> Staleness {
+        let ws = self.window_start();
+        let stale_rows =
+            (self.max_valid_from.saturating_sub(ws) as usize).min(self.rows.len());
+        let warming_pairs = self
+            .valid_from
+            .iter()
+            .filter(|&&vf| {
+                vf > ws && {
+                    let o = ((vf - ws) as usize).min(self.rows.len());
+                    self.rows.len() - o < 2
+                }
+            })
+            .count();
+        let snapshots_until_flush = match self.mode {
+            // EWMA state mixes pre- and post-churn history forever
+            // (geometrically decaying, never bit-exact again).
+            WindowMode::Exponential(_) => {
+                if self.max_valid_from == 0 {
+                    Some(0)
+                } else {
+                    None
+                }
+            }
+            _ if self.max_valid_from <= ws => Some(0),
+            WindowMode::Sliding(w) => {
+                Some(stale_rows as u64 + (w - self.rows.len()) as u64)
+            }
+            // An unbounded window never evicts, so stale rows never
+            // leave. Callers that need the flush should bound the
+            // window before churning.
+            WindowMode::Unbounded => None,
+        };
+        Staleness {
+            stale_rows,
+            warming_pairs,
+            snapshots_until_flush,
+        }
+    }
+
+    /// Rewires the accumulator across a routing change: retained rows
+    /// are remapped to the new path numbering (columns of removed paths
+    /// drop, columns of added paths read a `0.0` filler that restarted
+    /// pairs never consult), surviving pairs keep their history, and
+    /// pairs whose intersection row changed restart with a validity
+    /// horizon of "now" — their covariances replay only post-churn
+    /// rows until the window flushes.
+    ///
+    /// `new_pairs` is the post-churn pair set (typically
+    /// [`AugmentedSystem::pair_indices`] of the patched system),
+    /// `carry[k]` is the old pair slot that new pair `k` continues
+    /// (`None` = restarted), and `id_map` is the old-path → new-path
+    /// renumbering from the [`DeltaEffect`].
+    pub fn apply_churn(
+        &mut self,
+        new_n_paths: usize,
+        new_pairs: Vec<(usize, usize)>,
+        carry: &[Option<usize>],
+        id_map: &[Option<PathId>],
+    ) {
+        assert!(new_n_paths > 0, "need at least one path");
+        assert_eq!(carry.len(), new_pairs.len(), "one carry entry per new pair");
+        assert_eq!(id_map.len(), self.n_paths, "one id_map entry per old path");
+        assert!(
+            new_pairs
+                .iter()
+                .all(|&(i, j)| i < new_n_paths && j < new_n_paths),
+            "pair index out of range for {new_n_paths} paths"
+        );
+        let now = self.total_ingested;
+        // Remap retained rows to the new numbering.
+        for row in self.rows.iter_mut() {
+            let mut new_row = vec![0.0; new_n_paths];
+            for (old_i, &mapped) in id_map.iter().enumerate() {
+                if let Some(new_i) = mapped {
+                    new_row[new_i.index()] = row[old_i];
+                }
+            }
+            *row = new_row;
+        }
+        // Carry surviving pairs' state; restart the rest at "now".
+        let old_comoment = std::mem::take(&mut self.comoment);
+        let old_valid_from = std::mem::take(&mut self.valid_from);
+        self.comoment = Vec::with_capacity(new_pairs.len());
+        self.valid_from = Vec::with_capacity(new_pairs.len());
+        for &c in carry {
+            match c {
+                Some(old) => {
+                    self.comoment.push(old_comoment[old]);
+                    self.valid_from.push(old_valid_from[old]);
+                }
+                None => {
+                    self.comoment.push(0.0);
+                    self.valid_from.push(now);
+                }
+            }
+        }
+        self.max_valid_from = self.valid_from.iter().copied().max().unwrap_or(0);
+        self.pairs = new_pairs;
+        self.n_paths = new_n_paths;
+        self.delta_old = vec![0.0; new_n_paths];
+        self.delta_new = vec![0.0; new_n_paths];
+        match self.mode {
+            WindowMode::Exponential(_) => {
+                // Remap the EWMA mean; added paths start at 0.0 and
+                // converge at rate α. Carried comoments keep their
+                // EWMA state, restarted ones re-learn from 0.
+                let old_mean = std::mem::replace(&mut self.mean, vec![0.0; new_n_paths]);
+                for (old_i, &mapped) in id_map.iter().enumerate() {
+                    if let Some(new_i) = mapped {
+                        self.mean[new_i.index()] = old_mean[old_i];
+                    }
+                }
+            }
+            _ => {
+                // Rebuild the running Welford moments from the remapped
+                // rows so forward updates and future evictions stay
+                // self-consistent at the new width.
+                self.mean = vec![0.0; new_n_paths];
+                self.recentre();
+            }
+        }
+    }
+
+    /// Exact replay that honours each pair's validity horizon: pairs
+    /// restarted by churn replay only the window suffix ingested after
+    /// their restart, grouped by common offset so each distinct suffix
+    /// is centred once. Pairs with fewer than two valid rows read
+    /// `0.0`. On a churn-free window this degenerates to one group at
+    /// offset 0 — the verbatim batch sweep.
+    pub(crate) fn grouped_exact_covariances_into(
+        &self,
+        centered: &mut CenteredMeasurements,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.resize(self.pairs.len(), 0.0);
+        let ws = self.window_start();
+        let mut groups: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (slot, &vf) in self.valid_from.iter().enumerate() {
+            let o = (vf.saturating_sub(ws) as usize).min(self.rows.len());
+            groups.entry(o).or_default().push(slot);
+        }
+        let mut sub_pairs = Vec::new();
+        let mut sub_out = Vec::new();
+        for (&o, slots) in &groups {
+            if self.rows.len() - o < 2 {
+                continue; // warming: no sample covariance yet
+            }
+            centered.recentre_from_iter(self.rows.iter().skip(o).map(|r| r.as_slice()));
+            sub_pairs.clear();
+            sub_pairs.extend(slots.iter().map(|&s| self.pairs[s]));
+            centered.pair_covariances_into(&sub_pairs, &mut sub_out);
+            for (&s, &c) in slots.iter().zip(sub_out.iter()) {
+                out[s] = c;
+            }
+        }
     }
 }
 
@@ -558,8 +785,8 @@ pub struct OnlineEstimator {
     selection: Option<PairSelection>,
     cov: StreamingCovariance,
     gram: GramCache,
-    /// Upper factor `R` with `RᵀR = AᵀA` (Givens mode only).
-    factor: Option<Matrix>,
+    /// The Givens-maintained Phase-1 factor (Givens mode only).
+    factor: Option<GivensFactor>,
     variances: Option<VarianceEstimate>,
     /// Memoized Phase-2 structure: the variance order of the last
     /// refresh, its elimination cut, its kept column set, and the
@@ -588,6 +815,88 @@ enum Phase2Factor {
     DenseNormal(Matrix),
     /// Sparse Givens QR (the sparse dispatch path).
     Sparse(SparseQr),
+}
+
+/// The Givens-maintained Phase-1 factor: the upper Cholesky factor of
+/// the kept-row Gram under a fill-reducing symmetric permutation
+/// (columns ordered by ascending occupancy, the same heuristic as the
+/// exact path's permuted SPD solve). Meshed topologies produce Grams
+/// whose natural link order breaks unpivoted Cholesky numerically even
+/// though the matrix is positive definite — without the permutation a
+/// factor never gets built there and every "incremental" refresh
+/// silently takes the exact fallback. The rank-one surgery permutes
+/// its indicator vectors to match.
+#[derive(Debug)]
+struct GivensFactor {
+    /// Upper factor `R` with `RᵀR` equal to the permuted Gram.
+    r: Matrix,
+    /// `order[i]` = original link column at permuted position `i`.
+    order: Vec<usize>,
+    /// Inverse permutation: `pos[link]` = permuted position.
+    pos: Vec<usize>,
+}
+
+impl GivensFactor {
+    /// Factors the symmetrised co-occurrence counts under the
+    /// ascending-occupancy ordering.
+    fn build(counts: &[u32], nc: usize) -> Result<GivensFactor, LinalgError> {
+        let mut gram = Matrix::zeros(nc, nc);
+        crate::variance::counts_to_symmetric(counts, gram.as_mut_slice(), nc);
+        let nnz: Vec<usize> = (0..nc)
+            .map(|j| (0..nc).filter(|&k| gram[(j, k)] != 0.0).count())
+            .collect();
+        let mut order: Vec<usize> = (0..nc).collect();
+        order.sort_by_key(|&j| (nnz[j], j));
+        let mut permuted = Matrix::zeros(nc, nc);
+        for i in 0..nc {
+            for j in 0..nc {
+                permuted[(i, j)] = gram[(order[i], order[j])];
+            }
+        }
+        let chol = Cholesky::new(&permuted)?;
+        let mut pos = vec![0usize; nc];
+        for (i, &j) in order.iter().enumerate() {
+            pos[j] = i;
+        }
+        Ok(GivensFactor {
+            r: chol.l().transpose(),
+            order,
+            pos,
+        })
+    }
+
+    /// Scatters `links` into `scratch` as a permuted 0/1 indicator.
+    fn indicator(&self, links: &[usize], scratch: &mut [f64]) {
+        scratch.fill(0.0);
+        for &k in links {
+            scratch[self.pos[k]] = 1.0;
+        }
+    }
+
+    /// Rank-one-updates the factor with the pair row on `links`.
+    fn update(&mut self, links: &[usize], scratch: &mut [f64]) -> Result<(), LinalgError> {
+        self.indicator(links, scratch);
+        givens::rank_one_update(&mut self.r, scratch)
+    }
+
+    /// Rank-one-downdates the factor with the pair row on `links`.
+    fn downdate(&mut self, links: &[usize], scratch: &mut [f64]) -> Result<(), LinalgError> {
+        self.indicator(links, scratch);
+        givens::rank_one_downdate(&mut self.r, scratch)
+    }
+
+    /// Solves the normal equations `G v = atb` by two triangular
+    /// solves in permuted coordinates.
+    fn solve(&self, atb: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let permuted: Vec<f64> = self.order.iter().map(|&j| atb[j]).collect();
+        let z = triangular::solve_upper_transposed(&self.r, &permuted)?;
+        let x = triangular::solve_upper_triangular(&self.r, &z)?;
+        let mut v = vec![0.0; x.len()];
+        for (i, &j) in self.order.iter().enumerate() {
+            v[j] = x[i];
+        }
+        Ok(v)
+    }
 }
 
 impl OnlineEstimator {
@@ -671,6 +980,23 @@ impl OnlineEstimator {
         self.warmup_error.as_ref()
     }
 
+    /// The reduced topology the estimator currently serves (reflects
+    /// every delta applied so far).
+    pub fn topology(&self) -> &ReducedTopology {
+        &self.red
+    }
+
+    /// The configuration the estimator was built with.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.cfg
+    }
+
+    /// Post-churn flush progress of the covariance window — see
+    /// [`Staleness`].
+    pub fn staleness(&self) -> Staleness {
+        self.cov.staleness()
+    }
+
     /// Ingests one simulated/measured snapshot: extracts the log rates
     /// once, updates the covariance accumulator, refreshes per the
     /// cadence, and scores the snapshot against the current model.
@@ -680,14 +1006,24 @@ impl OnlineEstimator {
 
     /// [`OnlineEstimator::ingest`] for pre-extracted log measurements
     /// `Y_i = log φ̂_i` (one entry per path).
+    ///
+    /// Malformed input is rejected with a typed error **before** any
+    /// state is touched: a mis-sized row returns
+    /// [`LinalgError::DimensionMismatch`], a row containing NaN/±∞
+    /// returns [`LinalgError::NonFinite`]. Either way the running
+    /// moments are unpoisoned and the estimator keeps serving its
+    /// current model.
     pub fn ingest_log_rates(&mut self, y: &[f64]) -> Result<OnlineUpdate, LinalgError> {
-        assert_eq!(
-            y.len(),
-            self.red.num_paths(),
-            "snapshot covers {} paths, topology has {}",
-            y.len(),
-            self.red.num_paths()
-        );
+        if y.len() != self.red.num_paths() {
+            return Err(LinalgError::DimensionMismatch(format!(
+                "snapshot covers {} paths, topology has {}",
+                y.len(),
+                self.red.num_paths()
+            )));
+        }
+        if let Some(index) = y.iter().position(|v| !v.is_finite()) {
+            return Err(LinalgError::NonFinite { index });
+        }
         self.cov.ingest(y);
         self.since_refresh += 1;
         let due = self.variances.is_none() || self.since_refresh >= self.cfg.refresh_every;
@@ -696,9 +1032,15 @@ impl OnlineEstimator {
             match self.refresh() {
                 Ok(()) => refreshed = true,
                 // While warming up, an unsolvable moment system just
-                // means "not enough signal yet" — keep streaming. After
-                // the first success, failures are real and surface.
-                Err(e) if self.variances.is_none() => self.warmup_error = Some(e),
+                // means "not enough signal yet" — keep streaming. The
+                // same grace applies while the window still holds
+                // pre-churn rows (warming pairs read zero covariance
+                // and can leave the moment system under-determined).
+                // After the first success on a churn-free window,
+                // failures are real and surface.
+                Err(e) if self.variances.is_none() || !self.cov.is_churn_free() => {
+                    self.warmup_error = Some(e)
+                }
                 Err(e) => return Err(e),
             }
         }
@@ -739,7 +1081,7 @@ impl OnlineEstimator {
         let mut sigmas = std::mem::take(&mut self.scratch.sigmas);
         match self.cfg.window {
             WindowMode::Exponential(_) => self.cov.covariances_into(&mut sigmas),
-            _ => {
+            _ if self.cov.is_churn_free() => {
                 // Exact batch replay of the retained window, recentred
                 // into the reusable buffers straight off the ring
                 // buffer (no per-refresh allocations) — bit-identical
@@ -747,6 +1089,15 @@ impl OnlineEstimator {
                 let centered = &mut self.scratch.centered;
                 centered.recentre_from_iter(self.cov.rows.iter().map(|r| r.as_slice()));
                 centered.pair_covariances_into(&self.cov.pairs, &mut sigmas);
+            }
+            _ => {
+                // The window still holds pre-churn rows: replay each
+                // pair only over its valid suffix. Once the window
+                // flushes, `is_churn_free` flips and refreshes return
+                // to the verbatim path above — restoring bit-exactness
+                // against a fresh estimator on the new topology.
+                self.cov
+                    .grouped_exact_covariances_into(&mut self.scratch.centered, &mut sigmas);
             }
         }
         let result = self.refresh_from_sigmas_inner(&sigmas);
@@ -911,14 +1262,10 @@ impl OnlineEstimator {
         if let Some(factor) = self.factor.as_mut() {
             let mut amended = true;
             for &r in added.iter().chain(dropped.iter()) {
-                scratch.fill(0.0);
-                for &k in self.aug.row(r) {
-                    scratch[k] = 1.0;
-                }
                 let res = if new_kept[r] {
-                    givens::rank_one_update(factor, &mut scratch)
+                    factor.update(self.aug.row(r), &mut scratch)
                 } else {
-                    givens::rank_one_downdate(factor, &mut scratch)
+                    factor.downdate(self.aug.row(r), &mut scratch)
                 };
                 if res.is_err() {
                     amended = false;
@@ -930,10 +1277,8 @@ impl OnlineEstimator {
             }
         }
         if self.factor.is_none() {
-            let mut gram = Matrix::zeros(nc, nc);
-            crate::variance::counts_to_symmetric(self.gram.counts(), gram.as_mut_slice(), nc);
-            match Cholesky::new(&gram) {
-                Ok(chol) => self.factor = Some(chol.l().transpose()),
+            match GivensFactor::build(self.gram.counts(), nc) {
+                Ok(factor) => self.factor = Some(factor),
                 Err(_) => {
                     // Mirror the exact path's all-rows fallback.
                     return self.refresh_exact_fallback(sigmas);
@@ -952,8 +1297,7 @@ impl OnlineEstimator {
             }
         }
         let factor = self.factor.as_ref().expect("factor was just built");
-        let solved = triangular::solve_upper_transposed(factor, &atb)
-            .and_then(|z| triangular::solve_upper_triangular(factor, &z));
+        let solved = factor.solve(&atb);
         match solved {
             Ok(v) => Ok(VarianceEstimate {
                 v,
@@ -995,6 +1339,219 @@ impl OnlineEstimator {
             &xstar,
         ))
     }
+
+    /// Applies a routing delta to the **live** estimator — no drain, no
+    /// rebuild. Every incremental structure is patched in place:
+    ///
+    /// * the reduced topology and Phase-2 rank view swap to the new
+    ///   routing (an invalid delta returns the [`ChurnError`] and
+    ///   leaves the estimator untouched);
+    /// * the augmented pair system is patched row-by-row
+    ///   ([`AugmentedSystem::apply_delta`]), carrying every pair whose
+    ///   intersection row is bit-identical across the delta (under a
+    ///   biting [`PairBudget`] the selection is re-run and re-matched
+    ///   instead);
+    /// * the Gram cache subtracts the dropped rows' co-occurrence
+    ///   counts (integer arithmetic — patched equals from-scratch), and
+    ///   a cached Givens factor is repaired surgically: one rank-1
+    ///   **update** per recomputed pair row first, then one rank-1
+    ///   **downdate** per dropped kept row — in that order, so the
+    ///   factor never passes through the carried-only Gram (singular
+    ///   whenever a rerouted path was the sole cover of a link); if a
+    ///   downdate still loses positive definiteness the estimator falls
+    ///   back to a clean rebuild, recorded in
+    ///   [`ChurnReport::fallback`] — the degraded path is never silent;
+    /// * the covariance window remaps its retained rows and restarts
+    ///   the recomputed pairs with a fresh validity horizon
+    ///   ([`StreamingCovariance::apply_churn`]): interim refreshes
+    ///   replay each pair over its valid suffix, and once the window
+    ///   flushes ([`Staleness::is_flushed`]) estimates are again
+    ///   **bit-identical** to a fresh estimator built on the new
+    ///   topology and fed the same post-churn snapshots.
+    ///
+    /// A refresh is attempted immediately; a post-churn refresh
+    /// failure (e.g. every pair warming) is held as a warm-up error
+    /// rather than surfaced — the estimator keeps streaming.
+    pub fn apply_delta(&mut self, delta: &TopologyDelta) -> Result<ChurnReport, ChurnError> {
+        let effect = self.red.apply_delta(delta)?;
+        // Committed from here: `self.red` describes the new routing.
+        // Phase-2 memoization is keyed on the routing matrix — drop it
+        // (`cut` survives as an output-neutral bisection hint).
+        self.view = RankView::new(&self.red, self.cfg.lia.dispatch);
+        self.p2 = None;
+        self.order.clear();
+        self.kept.clear();
+        let np = self.red.num_paths();
+        let nc = self.red.num_links();
+        // Patch (or, under a pair budget, rebuild and re-match) the
+        // augmented system.
+        let (new_aug, new_selection, carry) = if self.selection.is_some() {
+            let (aug, sel) = apply_budget(AugmentedSystem::build(&self.red), self.cfg.pair_budget);
+            let carry = carry_via_pairs(&self.aug, &aug, &effect, np);
+            (aug, sel, carry)
+        } else {
+            let (full, carry_full) = self.aug.apply_delta(&self.red, &effect);
+            let (aug, sel) = apply_budget(full, self.cfg.pair_budget);
+            if sel.is_some() {
+                // The budget bites only now (churn grew the pair set
+                // past it): re-match pairs against the selection.
+                let carry = carry_via_pairs(&self.aug, &aug, &effect, np);
+                (aug, sel, carry)
+            } else {
+                (aug, sel, carry_full)
+            }
+        };
+        // Patch the Gram counts while `self.aug` is still the old
+        // system (the dropped rows' links are read from it), then
+        // surgically downdate the Givens factor for each kept row that
+        // left.
+        let dropped_kept = self.gram.apply_churn(self.aug.matrix(), nc, &carry);
+        let mut factor_updates = 0usize;
+        let mut factor_downdates = 0usize;
+        let mut fallback: Option<String> = None;
+        // Update-before-downdate: pre-fold every recomputed/new pair
+        // row into the counts and the factor, *then* downdate the
+        // dropped old rows. Every intermediate Gram is a superset of
+        // the new system's, so the surgery stays positive definite
+        // even when the carried-only Gram is structurally singular (a
+        // rerouted path that was the sole cover of some link — routine
+        // on meshes). Updates cannot lose positive definiteness; only
+        // downdates can.
+        let folded = if self.factor.is_some() && self.gram.is_ready() {
+            let mut pre_kept = self.gram.kept_mask().to_vec();
+            for (r, c) in carry.iter().enumerate() {
+                if c.is_none() {
+                    pre_kept[r] = true;
+                }
+            }
+            self.gram.sync(new_aug.matrix(), nc, &pre_kept).0
+        } else {
+            Vec::new()
+        };
+        if let Some(factor) = self.factor.as_mut() {
+            let mut ind = vec![0.0; nc];
+            for &r in &folded {
+                factor_updates += 1;
+                if factor.update(new_aug.row(r), &mut ind).is_err() {
+                    fallback = Some("churn factor update failed — clean rebuild".to_string());
+                    break;
+                }
+            }
+            if fallback.is_none() {
+                for &r in &dropped_kept {
+                    factor_downdates += 1;
+                    if factor.downdate(self.aug.row(r), &mut ind).is_err() {
+                        fallback = Some(
+                            "churn downdate lost positive definiteness — clean rebuild"
+                                .to_string(),
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+        if fallback.is_some() {
+            // Degraded path: drop every incremental structure and let
+            // the next refresh reassemble from scratch.
+            self.factor = None;
+            self.gram = GramCache::new();
+        }
+        // Rewire the covariance window to the new pair set.
+        self.cov
+            .apply_churn(np, new_aug.pair_indices(), &carry, &effect.id_map);
+        let carried_pairs = carry.iter().filter(|c| c.is_some()).count();
+        let recomputed_pairs = carry.len() - carried_pairs;
+        self.aug = new_aug;
+        self.selection = new_selection;
+        // Both cached Phase-1 factors (kept-mask and all-rows) describe
+        // the old system.
+        self.scratch.phase1.invalidate_for_churn();
+        // The old model indexes the old pair system; `estimate` must
+        // not serve it.
+        let had_model = self.variances.take().is_some();
+        let mut refreshed = false;
+        if self.cov.len() >= 2 {
+            match self.refresh() {
+                Ok(()) => refreshed = true,
+                Err(e) => {
+                    if had_model && fallback.is_none() {
+                        fallback = Some(format!("post-churn refresh failed: {e}"));
+                    }
+                    self.warmup_error = Some(e);
+                }
+            }
+        }
+        Ok(ChurnReport {
+            added_paths: effect.added.len(),
+            removed_paths: effect.removed.len(),
+            rerouted_paths: effect.changed.len() - effect.added.len(),
+            carried_pairs,
+            recomputed_pairs,
+            factor_updates,
+            factor_downdates,
+            fallback,
+            refreshed,
+            staleness: self.cov.staleness(),
+        })
+    }
+}
+
+/// What [`OnlineEstimator::apply_delta`] did — the per-layer cost and
+/// outcome of one churn event.
+#[derive(Debug, Clone)]
+pub struct ChurnReport {
+    /// Paths added by the delta.
+    pub added_paths: usize,
+    /// Paths removed by the delta.
+    pub removed_paths: usize,
+    /// Surviving paths whose link row changed (reroutes + remap hits).
+    pub rerouted_paths: usize,
+    /// Augmented pairs carried with their history intact.
+    pub carried_pairs: usize,
+    /// Augmented pairs recomputed and restarted (warming up).
+    pub recomputed_pairs: usize,
+    /// Givens rank-1 updates pre-folding recomputed pair rows into the
+    /// cached Phase-1 factor (applied *before* the downdates so the
+    /// factor never passes through the carried-only Gram, which is
+    /// singular whenever a rerouted path was the sole cover of a link).
+    pub factor_updates: usize,
+    /// Givens rank-1 downdates applied to the cached Phase-1 factor.
+    pub factor_downdates: usize,
+    /// `Some(reason)` when the incremental patch had to fall back to a
+    /// clean rebuild (lost positive definiteness, or the immediate
+    /// post-churn refresh failed while a model was live). Never silent.
+    pub fallback: Option<String>,
+    /// Whether the immediate post-churn refresh succeeded.
+    pub refreshed: bool,
+    /// Flush progress of the covariance window at return.
+    pub staleness: Staleness,
+}
+
+/// Matches the new (budgeted) pair set against the old one by pair
+/// identity: a new pair carries the old slot's history iff neither
+/// endpoint changed routing and the same path pair was tracked before.
+fn carry_via_pairs(
+    old: &AugmentedSystem,
+    new: &AugmentedSystem,
+    effect: &DeltaEffect,
+    new_np: usize,
+) -> Vec<Option<usize>> {
+    let changed: std::collections::HashSet<u32> = effect.changed.iter().map(|p| p.0).collect();
+    let inv = effect.inverse_id_map(new_np);
+    let mut old_slots = std::collections::HashMap::new();
+    for (r, ((a, b), _)) in old.iter().enumerate() {
+        old_slots.insert((a.0, b.0), r);
+    }
+    new.iter()
+        .map(|((a, b), _)| {
+            if changed.contains(&a.0) || changed.contains(&b.0) {
+                return None;
+            }
+            let oa = inv[a.index()]?;
+            let ob = inv[b.index()]?;
+            old_slots.get(&(oa.0, ob.0)).copied()
+        })
+        .collect()
 }
 
 /// Set difference of two ascending index lists, as
@@ -1045,6 +1602,10 @@ mod tests {
 
     fn fig1() -> ReducedTopology {
         fixtures::reduced(&fixtures::figure1())
+    }
+
+    fn fig2() -> ReducedTopology {
+        fixtures::reduced(&fixtures::figure2())
     }
 
     fn simulate(red: &ReducedTopology, m: usize, seed: u64) -> MeasurementSet {
@@ -1419,10 +1980,279 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "snapshot covers")]
-    fn wrong_width_snapshot_panics() {
+    fn wrong_width_snapshot_is_typed_error_not_poison() {
         let red = fig1();
         let mut online = OnlineEstimator::new(&red, OnlineConfig::default());
-        let _ = online.ingest_log_rates(&[0.0]);
+        let err = online.ingest_log_rates(&[0.0]).unwrap_err();
+        assert!(matches!(err, LinalgError::DimensionMismatch(_)));
+        assert!(err.to_string().contains("snapshot covers"));
+        // Nothing was ingested — the accumulator is untouched.
+        assert_eq!(online.covariance().total_ingested(), 0);
+    }
+
+    #[test]
+    fn non_finite_snapshot_is_rejected_and_estimator_stays_sane() {
+        let red = fig1();
+        let ms = simulate(&red, 40, 97);
+        let mut online = OnlineEstimator::new(&red, OnlineConfig::default());
+        for s in &ms.snapshots[..20] {
+            online.ingest(s).unwrap();
+        }
+        let before = online.variances().expect("warm after 20 snapshots").v.clone();
+        // A NaN (and an infinite) snapshot must bounce with a typed
+        // error, not poison the Welford moments.
+        let mut bad = ms.snapshots[20].log_rates();
+        bad[2] = f64::NAN;
+        assert_eq!(
+            online.ingest_log_rates(&bad).unwrap_err(),
+            LinalgError::NonFinite { index: 2 }
+        );
+        bad[2] = f64::INFINITY;
+        assert_eq!(
+            online.ingest_log_rates(&bad).unwrap_err(),
+            LinalgError::NonFinite { index: 2 }
+        );
+        // The model is unchanged and further ingests behave exactly as
+        // if the bad rows never arrived.
+        assert_eq!(online.variances().unwrap().v, before);
+        let mut control = OnlineEstimator::new(&red, OnlineConfig::default());
+        for s in &ms.snapshots {
+            control.ingest(s).unwrap();
+        }
+        for s in &ms.snapshots[20..] {
+            online.ingest(s).unwrap();
+        }
+        assert_eq!(online.variances().unwrap().v, control.variances().unwrap().v);
+    }
+
+    /// The churn robustness gate: apply a delta mid-stream, keep
+    /// ingesting until the sliding window flushes, and the estimator's
+    /// variances and per-snapshot estimates are **bit-identical** to a
+    /// fresh estimator built on the new topology and fed the same
+    /// post-churn snapshots.
+    #[test]
+    fn churned_estimator_matches_fresh_after_flush() {
+        let w = 8;
+        let cfg = OnlineConfig {
+            window: WindowMode::Sliding(w),
+            ..OnlineConfig::default()
+        };
+        let mut red = fig2();
+        let ms = simulate(&red, 30, 11);
+        let mut online = OnlineEstimator::new(&red, cfg);
+        for s in &ms.snapshots {
+            online.ingest(s).unwrap();
+        }
+        // Reroute one path, drop another, add a new one.
+        let nc = red.num_links();
+        let delta = TopologyDelta::new()
+            .reroute_path(PathId(0), vec![0, nc - 1])
+            .remove_path(PathId(2))
+            .add_path(vec![0, 1]);
+        let effect_check = {
+            let mut copy = red.clone();
+            copy.apply_delta(&delta).unwrap()
+        };
+        assert!(!effect_check.changed.is_empty());
+        let report = online.apply_delta(&delta).unwrap();
+        red.apply_delta(&delta).unwrap();
+        assert_eq!(online.topology().matrix, red.matrix);
+        assert_eq!(report.added_paths, 1);
+        assert_eq!(report.removed_paths, 1);
+        assert_eq!(report.rerouted_paths, 1);
+        assert!(report.carried_pairs > 0);
+        assert!(report.recomputed_pairs > 0);
+        let st = report.staleness;
+        assert!(st.stale_rows > 0);
+        let flush = st.snapshots_until_flush.expect("sliding window flushes");
+        assert!(flush >= st.stale_rows as u64);
+        // Stream post-churn snapshots on the new topology into both the
+        // churned estimator and a fresh control.
+        let ms2 = simulate(&red, flush as usize + 5, 12);
+        let mut fresh = OnlineEstimator::new(&red, cfg);
+        let mut fed = 0u64;
+        for s in &ms2.snapshots {
+            let y = s.log_rates();
+            let _ = online.ingest_log_rates(&y);
+            let _ = fresh.ingest_log_rates(&y);
+            fed += 1;
+            if fed >= flush {
+                assert!(online.covariance().is_churn_free());
+                assert!(online.staleness().is_flushed());
+            }
+        }
+        // Post-flush both windows hold the same `w` rows: force a
+        // refresh on each and compare bits.
+        online.refresh().unwrap();
+        fresh.refresh().unwrap();
+        assert_eq!(online.variances().unwrap().v, fresh.variances().unwrap().v);
+        let y = ms2.snapshots.last().unwrap().log_rates();
+        assert_eq!(
+            online.estimate(&y).unwrap().transmission,
+            fresh.estimate(&y).unwrap().transmission
+        );
+        assert_eq!(online.kept_columns(), fresh.kept_columns());
+    }
+
+    /// Same gate under the Givens-amended factor policy: the surgically
+    /// downdated factor must converge to the same estimates (within the
+    /// policy's tolerance contract it already has) and never panic.
+    #[test]
+    fn churn_under_givens_policy_survives_and_converges() {
+        let w = 8;
+        let cfg = OnlineConfig {
+            window: WindowMode::Sliding(w),
+            factor: FactorRefresh::GivensUpdate,
+            ..OnlineConfig::default()
+        };
+        let mut red = fig2();
+        let ms = simulate(&red, 30, 21);
+        let mut online = OnlineEstimator::new(&red, cfg);
+        for s in &ms.snapshots {
+            online.ingest(s).unwrap();
+        }
+        let nc = red.num_links();
+        let delta = TopologyDelta::new()
+            .reroute_path(PathId(1), vec![1, nc - 1])
+            .add_path(vec![0, 2]);
+        let report = online.apply_delta(&delta).unwrap();
+        // The incremental path either amended the factor or declared
+        // its fallback — never a silent rebuild.
+        assert!(report.fallback.is_none() || report.factor_downdates > 0 || !report.refreshed);
+        red.apply_delta(&delta).unwrap();
+        let ms2 = simulate(&red, w + 4, 22);
+        let exact_cfg = OnlineConfig {
+            factor: FactorRefresh::Exact,
+            ..cfg
+        };
+        let mut control = OnlineEstimator::new(&red, exact_cfg);
+        for s in &ms2.snapshots {
+            let y = s.log_rates();
+            let _ = online.ingest_log_rates(&y);
+            let _ = control.ingest_log_rates(&y);
+        }
+        online.refresh().unwrap();
+        control.refresh().unwrap();
+        let a = &online.variances().unwrap().v;
+        let b = &control.variances().unwrap().v;
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() <= 1e-8 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn ewma_estimator_survives_churn() {
+        let cfg = OnlineConfig {
+            window: WindowMode::Exponential(0.2),
+            ..OnlineConfig::default()
+        };
+        let mut red = fig2();
+        let ms = simulate(&red, 20, 31);
+        let mut online = OnlineEstimator::new(&red, cfg);
+        for s in &ms.snapshots {
+            online.ingest(s).unwrap();
+        }
+        let nc = red.num_links();
+        let delta = TopologyDelta::new().reroute_path(PathId(0), vec![0, nc - 1]);
+        let report = online.apply_delta(&delta).unwrap();
+        assert_eq!(report.rerouted_paths, 1);
+        // EWMA has no window to flush — staleness is honest about it.
+        assert_eq!(report.staleness.snapshots_until_flush, None);
+        red.apply_delta(&delta).unwrap();
+        let ms2 = simulate(&red, 20, 32);
+        for s in &ms2.snapshots {
+            online.ingest(s).unwrap();
+        }
+        assert!(online.variances().is_some());
+    }
+
+    #[test]
+    fn staleness_counts_down_to_flush() {
+        let w = 6;
+        let mut cov = StreamingCovariance::new(
+            3,
+            vec![(0, 0), (1, 1), (2, 2), (0, 1)],
+            WindowMode::Sliding(w),
+        );
+        for k in 0..10 {
+            cov.ingest(&[k as f64, 1.0, 2.0]);
+        }
+        assert!(cov.is_churn_free());
+        assert_eq!(cov.staleness().snapshots_until_flush, Some(0));
+        // Restart pair 3 and pair 1 (identity carry elsewhere).
+        let id_map: Vec<Option<PathId>> = (0..3).map(|i| Some(PathId(i))).collect();
+        let carry = vec![Some(0), None, Some(2), None];
+        cov.apply_churn(3, vec![(0, 0), (1, 1), (2, 2), (0, 1)], &carry, &id_map);
+        assert!(!cov.is_churn_free());
+        let st = cov.staleness();
+        assert_eq!(st.stale_rows, w);
+        assert_eq!(st.snapshots_until_flush, Some(w as u64));
+        assert_eq!(st.warming_pairs, 2);
+        let mut last = w as u64;
+        for k in 0..w {
+            cov.ingest(&[k as f64 * 0.5, 3.0, 1.0]);
+            let st = cov.staleness();
+            let now = st.snapshots_until_flush.expect("sliding flushes");
+            assert_eq!(now, last - 1);
+            last = now;
+        }
+        assert!(cov.is_churn_free());
+        assert!(cov.staleness().is_flushed());
+        assert_eq!(cov.staleness().warming_pairs, 0);
+    }
+
+    #[test]
+    fn grouped_replay_matches_per_pair_manual_replay() {
+        let w = 8;
+        let mut cov =
+            StreamingCovariance::new(2, vec![(0, 0), (1, 1), (0, 1)], WindowMode::Sliding(w));
+        let mut rng_rows: Vec<[f64; 2]> = Vec::new();
+        for k in 0..6 {
+            let r = [(k * 7 % 5) as f64 * 0.3, (k * 3 % 4) as f64 * 0.7];
+            rng_rows.push(r);
+            cov.ingest(&r);
+        }
+        let id_map = vec![Some(PathId(0)), Some(PathId(1))];
+        // Restart the cross pair only.
+        cov.apply_churn(2, vec![(0, 0), (1, 1), (0, 1)], &[Some(0), Some(1), None], &id_map);
+        for k in 0..3 {
+            let r = [k as f64 * 0.9, (3 - k) as f64 * 0.2];
+            rng_rows.push(r);
+            cov.ingest(&r);
+        }
+        let got = cov.exact_covariances();
+        // Carried pairs replay the full window; the restarted pair
+        // replays only its post-churn suffix.
+        let window: Vec<&[f64]> = rng_rows[rng_rows.len() - cov.len()..]
+            .iter()
+            .map(|r| r.as_slice())
+            .collect();
+        let full = CenteredMeasurements::from_row_refs(&window).pair_covariances(&[(0, 0), (1, 1)]);
+        assert_eq!(got[0], full[0]);
+        assert_eq!(got[1], full[1]);
+        let suffix: Vec<&[f64]> = rng_rows[rng_rows.len() - 3..]
+            .iter()
+            .map(|r| r.as_slice())
+            .collect();
+        let cross = CenteredMeasurements::from_row_refs(&suffix).pair_covariances(&[(0, 1)]);
+        assert_eq!(got[2], cross[0]);
+    }
+
+    #[test]
+    fn invalid_delta_leaves_estimator_untouched() {
+        let red = fig1();
+        let ms = simulate(&red, 10, 41);
+        let mut online = OnlineEstimator::new(&red, OnlineConfig::default());
+        for s in &ms.snapshots {
+            online.ingest(s).unwrap();
+        }
+        let before = online.variances().unwrap().v.clone();
+        let err = online
+            .apply_delta(&TopologyDelta::new().remove_path(PathId(99)))
+            .unwrap_err();
+        assert!(matches!(err, ChurnError::PathOutOfRange { .. }));
+        assert_eq!(online.variances().unwrap().v, before);
+        assert_eq!(online.topology().num_paths(), red.num_paths());
+        assert!(online.covariance().is_churn_free());
     }
 }

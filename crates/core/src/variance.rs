@@ -236,6 +236,57 @@ impl GramCache {
         self.kept.copy_from_slice(new_kept);
         (added, dropped)
     }
+
+    /// Re-keys the cache across a routing churn event: `carry[new_r]`
+    /// names the old augmented row that new row `new_r` carries
+    /// unchanged (`None` = recomputed/added — see
+    /// [`AugmentedSystem::apply_delta`]). Kept flags follow their rows
+    /// to the new numbering; old kept rows that did not survive are
+    /// subtracted from the integer counts, and recomputed rows enter as
+    /// not-yet-kept (the next [`GramCache::sync`] folds them in against
+    /// fresh covariances).
+    ///
+    /// Because carried rows have bit-identical link sets and the counts
+    /// are integers, the patched counts exactly equal a from-scratch
+    /// assembly over the carried kept rows — the churn patch costs
+    /// `O(dropped · s²)` instead of `O(r · s²)`.
+    ///
+    /// Returns the old indices of the kept rows that were subtracted
+    /// (ascending) so the factor-surgery path can downdate them; empty
+    /// if the cache was never filled.
+    pub(crate) fn apply_churn(
+        &mut self,
+        old_rows: &losstomo_topology::RoutingMatrix,
+        nc: usize,
+        carry: &[Option<usize>],
+    ) -> Vec<usize> {
+        if !self.ready {
+            return Vec::new();
+        }
+        let mut survived = vec![false; self.kept.len()];
+        let mut new_kept = vec![false; carry.len()];
+        for (new_r, c) in carry.iter().enumerate() {
+            if let Some(old_r) = c {
+                survived[*old_r] = true;
+                new_kept[new_r] = self.kept[*old_r];
+            }
+        }
+        let mut dropped = Vec::new();
+        for (old_r, (&was_kept, &surv)) in self.kept.iter().zip(survived.iter()).enumerate() {
+            if was_kept && !surv {
+                dropped.push(old_r);
+                let links = old_rows.row(old_r);
+                for (ai, &ka) in links.iter().enumerate() {
+                    let crow = &mut self.counts[ka * nc..(ka + 1) * nc];
+                    for &kb in &links[ai..] {
+                        crow[kb] -= 1;
+                    }
+                }
+            }
+        }
+        self.kept = new_kept;
+        dropped
+    }
 }
 
 /// Phase 1 via the normal equations with a reusable [`GramCache`]:
@@ -309,6 +360,17 @@ impl Phase1Scratch {
     /// factor is unaffected — its Gram is a constant of the topology.
     pub fn invalidate_kept_factor(&mut self) {
         self.spd.invalidate();
+    }
+
+    /// Drops **both** cached Cholesky factors. Routing churn changes
+    /// the augmented row set itself, so the all-rows fallback Gram —
+    /// otherwise a constant of the topology whose factor is "reusable
+    /// forever" — is no longer the matrix either factor was computed
+    /// from. Every churn event must call this; reusing either stale
+    /// factor would silently break the post-flush bit-identity gate.
+    pub fn invalidate_for_churn(&mut self) {
+        self.spd.invalidate();
+        self.spd_all.invalidate();
     }
 }
 
@@ -705,6 +767,41 @@ mod tests {
             estimate_variances_cached(&red, &aug, &m3, &cfg, &mut GramCache::new()).unwrap();
         assert_eq!(got.v, fresh.v, "stale factor leaked across the fallback");
         assert_eq!(got.used_rows, fresh.used_rows);
+    }
+
+    #[test]
+    fn gram_churn_patch_matches_from_scratch_counts() {
+        use losstomo_topology::{PathId, TopologyDelta};
+        let mut red = fixtures::reduced(&fixtures::figure2());
+        let nc = red.num_links();
+        let aug = AugmentedSystem::build(&red);
+        // Fill the cache with a mixed kept mask.
+        let mut cache = GramCache::new();
+        let kept: Vec<bool> = (0..aug.num_rows()).map(|r| r % 3 != 0).collect();
+        cache.sync(aug.matrix(), nc, &kept);
+        // Churn: reroute one path, drop another, add one.
+        let delta = TopologyDelta::new()
+            .reroute_path(PathId(1), vec![0, 2])
+            .remove_path(PathId(3))
+            .add_path(vec![1, nc - 1]);
+        let effect = red.apply_delta(&delta).unwrap();
+        let (patched, carry) = aug.apply_delta(&red, &effect);
+        let dropped = cache.apply_churn(aug.matrix(), nc, &carry);
+        // Every dropped index was a kept old row that no new row carries.
+        for &old_r in &dropped {
+            assert!(kept[old_r]);
+            assert!(carry.iter().all(|c| *c != Some(old_r)));
+        }
+        // Patched counts == from-scratch counts over the carried kept rows.
+        let mut fresh = GramCache::new();
+        fresh.sync(patched.matrix(), nc, cache.kept_mask());
+        assert_eq!(cache.counts(), fresh.counts());
+        // And a follow-up sync to a new mask still agrees bit-for-bit.
+        let new_mask: Vec<bool> = (0..patched.num_rows()).map(|r| r % 2 == 0).collect();
+        cache.sync(patched.matrix(), nc, &new_mask);
+        let mut fresh2 = GramCache::new();
+        fresh2.sync(patched.matrix(), nc, &new_mask);
+        assert_eq!(cache.counts(), fresh2.counts());
     }
 
     #[test]

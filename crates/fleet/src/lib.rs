@@ -42,7 +42,7 @@ use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use losstomo_core::budget::PairBudget;
 use losstomo_core::streaming::{OnlineConfig, OnlineEstimator};
 use losstomo_netsim::Snapshot;
-use losstomo_topology::ReducedTopology;
+use losstomo_topology::{ReducedTopology, TopologyDelta};
 use std::fmt;
 
 /// Opaque handle of one registered tenant.
@@ -105,6 +105,28 @@ pub enum FleetError {
     /// longer accepts snapshots (see
     /// [`FleetEventKind::TenantQuarantined`]).
     Quarantined(TenantId),
+    /// [`Fleet::revive_tenant`] was called on a tenant that is not
+    /// quarantined — reviving a healthy tenant would silently discard
+    /// its warm estimator state.
+    NotQuarantined(TenantId),
+    /// [`Fleet::update_topology`] was handed an invalid delta (path or
+    /// link out of range, empty path). The tenant's estimator is
+    /// untouched.
+    RejectedDelta {
+        /// The tenant the delta was aimed at.
+        tenant: TenantId,
+        /// The churn validation error, stringified.
+        reason: String,
+    },
+    /// [`Fleet::enqueue`] rejected a snapshot that cannot be ingested:
+    /// wrong path count for the tenant's topology, or zero probes. The
+    /// queue and the estimator are untouched.
+    MalformedSnapshot {
+        /// The tenant the snapshot was aimed at.
+        tenant: TenantId,
+        /// Why the snapshot was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FleetError {
@@ -114,6 +136,15 @@ impl fmt::Display for FleetError {
             FleetError::UnknownTenant(t) => write!(f, "{t} is not registered in this fleet"),
             FleetError::Quarantined(t) => {
                 write!(f, "{t} is quarantined after a panicking ingest")
+            }
+            FleetError::NotQuarantined(t) => {
+                write!(f, "{t} is not quarantined — nothing to revive")
+            }
+            FleetError::RejectedDelta { tenant, reason } => {
+                write!(f, "topology delta rejected for {tenant}: {reason}")
+            }
+            FleetError::MalformedSnapshot { tenant, reason } => {
+                write!(f, "malformed snapshot for {tenant}: {reason}")
             }
         }
     }
@@ -163,6 +194,30 @@ pub enum FleetEventKind {
         /// The panic payload, stringified.
         message: String,
     },
+    /// The tenant's routing changed mid-stream via
+    /// [`Fleet::update_topology`]: the estimator was patched in place
+    /// — no drain, no queue loss — and is now serving the new
+    /// topology.
+    TopologyChurned {
+        /// Paths added by the delta.
+        added: usize,
+        /// Paths removed by the delta.
+        removed: usize,
+        /// Surviving paths whose route changed.
+        rerouted: usize,
+        /// Snapshots until the covariance window flushes its pre-churn
+        /// history and estimates are again bit-identical to a fresh
+        /// estimator (`None` = never, e.g. an unbounded window).
+        snapshots_until_flush: Option<u64>,
+        /// Whether the incremental patch fell back to a clean rebuild
+        /// (the companion [`FleetEventKind::EstimatorError`] event
+        /// carries the reason — the degraded path is never silent).
+        rebuilt: bool,
+    },
+    /// A quarantined tenant was rebuilt from its topology via
+    /// [`Fleet::revive_tenant`] and accepts snapshots again. Its
+    /// estimator restarts cold; ingest/error counters are retained.
+    TenantRevived,
 }
 
 /// Per-tenant bookkeeping the fleet exposes for observability.
@@ -189,8 +244,15 @@ struct Tenant {
     ingested: u64,
     errors: u64,
     /// Set when an ingest panicked: the estimator may hold broken
-    /// invariants, so it is never touched again.
+    /// invariants, so it is never touched again (until
+    /// [`Fleet::revive_tenant`] rebuilds it).
     quarantined: bool,
+    /// Test hook: panic inside the ingest of the `n`-th snapshot, to
+    /// exercise the quarantine containment without relying on a real
+    /// estimator invariant (malformed input is now rejected with typed
+    /// errors before it can trip one).
+    #[cfg(test)]
+    panic_at: Option<u64>,
 }
 
 impl Tenant {
@@ -206,6 +268,10 @@ impl Tenant {
         while let Ok(snapshot) = self.rx.try_recv() {
             self.ingested += 1;
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                #[cfg(test)]
+                if self.panic_at == Some(self.ingested) {
+                    panic!("injected ingest panic at snapshot {}", self.ingested);
+                }
                 self.estimator.ingest(&snapshot)
             }));
             match outcome {
@@ -321,6 +387,8 @@ impl Fleet {
             ingested: 0,
             errors: 0,
             quarantined: false,
+            #[cfg(test)]
+            panic_at: None,
         });
         self.senders.push(tx);
         id
@@ -364,11 +432,38 @@ impl Fleet {
         }
     }
 
+    /// Validates a snapshot against a tenant's current topology before
+    /// it may enter the queue: the path count must match and at least
+    /// one probe must have been sent (zero probes would produce NaN
+    /// rates). Rejection is typed and loud — nothing reaches the
+    /// estimator's moments.
+    fn validate_snapshot(&self, id: TenantId, snapshot: &Snapshot) -> Result<(), FleetError> {
+        let want = self.tenants[id.0].estimator.topology().num_paths();
+        if snapshot.path_received.len() != want {
+            return Err(FleetError::MalformedSnapshot {
+                tenant: id,
+                reason: format!(
+                    "snapshot covers {} paths, topology has {want}",
+                    snapshot.path_received.len()
+                ),
+            });
+        }
+        if snapshot.probes == 0 {
+            return Err(FleetError::MalformedSnapshot {
+                tenant: id,
+                reason: "snapshot reports zero probes sent".to_string(),
+            });
+        }
+        Ok(())
+    }
+
     /// Enqueues one snapshot for a tenant without blocking. Fails with
     /// [`FleetError::QueueFull`] when the tenant's bounded queue is at
     /// capacity — the backpressure signal; [`Fleet::drain`] frees it —
-    /// and with [`FleetError::Quarantined`] when the tenant was
-    /// quarantined by a panicking ingest (nothing is silently dropped).
+    /// with [`FleetError::Quarantined`] when the tenant was quarantined
+    /// by a panicking ingest, and with
+    /// [`FleetError::MalformedSnapshot`] when the snapshot cannot match
+    /// the tenant's topology (nothing is silently dropped).
     pub fn enqueue(&self, id: TenantId, snapshot: Snapshot) -> Result<(), FleetError> {
         let tx = self
             .senders
@@ -377,11 +472,104 @@ impl Fleet {
         if self.tenants[id.0].quarantined {
             return Err(FleetError::Quarantined(id));
         }
+        self.validate_snapshot(id, &snapshot)?;
         match tx.try_send(snapshot) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(_)) => Err(FleetError::QueueFull(id)),
             Err(TrySendError::Disconnected(_)) => Err(FleetError::UnknownTenant(id)),
         }
+    }
+
+    /// Applies a routing delta to a tenant's **live** estimator — no
+    /// drain, no rebuild, the queue keeps its snapshots. Returns the
+    /// admin events synchronously (they are not replayed by later
+    /// [`Fleet::drain`] calls): a
+    /// [`FleetEventKind::TopologyChurned`] event always, preceded by a
+    /// [`FleetEventKind::EstimatorError`] event when the incremental
+    /// patch had to fall back to a clean rebuild — the degraded path is
+    /// loud, never a panic and never silent.
+    ///
+    /// An invalid delta returns [`FleetError::RejectedDelta`] and
+    /// leaves the tenant untouched. Snapshots already queued against
+    /// the old path numbering are rejected at ingest with a typed
+    /// error (surfacing as [`FleetEventKind::EstimatorError`]), not
+    /// ingested against the wrong topology.
+    pub fn update_topology(
+        &mut self,
+        id: TenantId,
+        delta: &TopologyDelta,
+    ) -> Result<Vec<FleetEvent>, FleetError> {
+        let t = self
+            .tenants
+            .get_mut(id.0)
+            .ok_or(FleetError::UnknownTenant(id))?;
+        if t.quarantined {
+            return Err(FleetError::Quarantined(id));
+        }
+        let report = t
+            .estimator
+            .apply_delta(delta)
+            .map_err(|e| FleetError::RejectedDelta {
+                tenant: id,
+                reason: e.to_string(),
+            })?;
+        let mut events = Vec::new();
+        if let Some(reason) = &report.fallback {
+            t.errors += 1;
+            events.push(FleetEvent {
+                tenant: id,
+                seq: t.ingested,
+                kind: FleetEventKind::EstimatorError {
+                    message: reason.clone(),
+                },
+            });
+        }
+        events.push(FleetEvent {
+            tenant: id,
+            seq: t.ingested,
+            kind: FleetEventKind::TopologyChurned {
+                added: report.added_paths,
+                removed: report.removed_paths,
+                rerouted: report.rerouted_paths,
+                snapshots_until_flush: report.staleness.snapshots_until_flush,
+                rebuilt: report.fallback.is_some(),
+            },
+        });
+        Ok(events)
+    }
+
+    /// Rebuilds a quarantined tenant's estimator from its reduced
+    /// topology and configuration, clears the quarantine flag, and
+    /// returns a [`FleetEventKind::TenantRevived`] event. The rebuilt
+    /// estimator is **bit-identical to a fresh one** on the same
+    /// topology (it restarts cold — the broken estimator's state is
+    /// discarded, which is the point); queued snapshots survive and are
+    /// ingested by the next [`Fleet::drain`]. Ingest/error counters are
+    /// retained for observability.
+    ///
+    /// Calling this on a healthy tenant returns
+    /// [`FleetError::NotQuarantined`] — it would discard warm state.
+    pub fn revive_tenant(&mut self, id: TenantId) -> Result<FleetEvent, FleetError> {
+        let t = self
+            .tenants
+            .get_mut(id.0)
+            .ok_or(FleetError::UnknownTenant(id))?;
+        if !t.quarantined {
+            return Err(FleetError::NotQuarantined(id));
+        }
+        let red = t.estimator.topology().clone();
+        let cfg = *t.estimator.config();
+        t.estimator = OnlineEstimator::new(&red, cfg);
+        t.quarantined = false;
+        #[cfg(test)]
+        {
+            t.panic_at = None;
+        }
+        Ok(FleetEvent {
+            tenant: id,
+            seq: t.ingested,
+            kind: FleetEventKind::TenantRevived,
+        })
     }
 
     /// Drains every tenant queue through the sharded worker pool and
@@ -449,6 +637,7 @@ impl Fleet {
             {
                 return Err(FleetError::Quarantined(id));
             }
+            self.validate_snapshot(id, &snapshot)?;
             let first = self
                 .senders
                 .get(id.0)
@@ -608,6 +797,7 @@ mod tests {
                 | FleetEventKind::TenantQuarantined { message } => {
                     panic!("unexpected estimator error: {message}")
                 }
+                other => panic!("unexpected admin event in drain stream: {other:?}"),
             }
         }
         assert_eq!(current, fleet.estimator(t).congested_links());
@@ -616,7 +806,6 @@ mod tests {
     #[test]
     fn panicking_tenant_is_quarantined_not_fatal() {
         let red1 = fig1();
-        let red2 = fixtures::reduced(&fixtures::figure2());
         // Two tenants on two workers: the panic unwinds inside a shard
         // thread and must still be contained to its tenant.
         let mut fleet = Fleet::new(FleetConfig {
@@ -626,14 +815,15 @@ mod tests {
         let a = fleet.add_tenant("bad", &red1, OnlineConfig::default());
         let b = fleet.add_tenant("good", &red1, OnlineConfig::default());
         let good = simulate(&red1, 6, 11);
-        // A figure-2 snapshot covers a different path count, so tenant
-        // a's ingest trips the estimator's invariant and panics.
-        let bad = simulate(&red2, 1, 12);
+        // Malformed input is rejected with typed errors before it can
+        // trip an estimator invariant, so the poison pill is an
+        // injected panic inside a's 2nd ingest.
+        fleet.tenants[a.0].panic_at = Some(2);
         for s in &good.snapshots {
             fleet.enqueue(b, s.clone()).unwrap();
         }
         fleet.enqueue(a, good.snapshots[0].clone()).unwrap();
-        fleet.enqueue(a, bad.snapshots[0].clone()).unwrap();
+        fleet.enqueue(a, good.snapshots[3].clone()).unwrap();
         fleet.enqueue(a, good.snapshots[1].clone()).unwrap();
         let events = fleet.drain();
         let quarantines: Vec<&FleetEvent> = events
@@ -645,7 +835,7 @@ mod tests {
         assert_eq!(quarantines[0].seq, 2, "poison pill was a's 2nd snapshot");
         if let FleetEventKind::TenantQuarantined { message } = &quarantines[0].kind {
             assert!(
-                message.contains("snapshot covers"),
+                message.contains("injected ingest panic"),
                 "panic payload not forwarded: {message}"
             );
         }
@@ -763,6 +953,161 @@ mod tests {
             fleet.estimator(a).congested_links(),
             solo.congested_links()
         );
+    }
+
+    #[test]
+    fn malformed_snapshots_are_rejected_at_the_gate() {
+        let red = fig1();
+        let red2 = fixtures::reduced(&fixtures::figure2());
+        let mut fleet = Fleet::new(FleetConfig::default());
+        let t = fleet.add_tenant("t", &red, OnlineConfig::default());
+        // Wrong path count (a figure-2 snapshot against a figure-1
+        // tenant) bounces with a typed error instead of panicking the
+        // ingest later.
+        let bad = simulate(&red2, 1, 51).snapshots[0].clone();
+        assert!(matches!(
+            fleet.enqueue(t, bad.clone()),
+            Err(FleetError::MalformedSnapshot { tenant, .. }) if tenant == t
+        ));
+        assert!(matches!(
+            fleet.ingest_batch([(t, bad)]),
+            Err(FleetError::MalformedSnapshot { .. })
+        ));
+        // Zero probes would make every rate NaN.
+        let mut zero = simulate(&red, 1, 52).snapshots[0].clone();
+        zero.probes = 0;
+        assert!(matches!(
+            fleet.enqueue(t, zero),
+            Err(FleetError::MalformedSnapshot { .. })
+        ));
+        // Nothing reached the estimator; the tenant still works.
+        assert_eq!(fleet.stats(t).ingested, 0);
+        let ms = simulate(&red, 10, 53);
+        fleet
+            .ingest_batch(ms.snapshots.iter().cloned().map(|s| (t, s)))
+            .unwrap();
+        assert_eq!(fleet.stats(t).ingested, 10);
+        assert!(!fleet.stats(t).quarantined);
+    }
+
+    #[test]
+    fn quarantine_revive_rebuilds_bit_identical_to_fresh() {
+        let red = fig1();
+        let mut fleet = Fleet::new(FleetConfig {
+            queue_capacity: 32,
+            ..FleetConfig::default()
+        });
+        let t = fleet.add_tenant("t", &red, OnlineConfig::default());
+        // Reviving a healthy tenant is refused — it would discard warm
+        // state.
+        assert_eq!(
+            fleet.revive_tenant(t).unwrap_err(),
+            FleetError::NotQuarantined(t)
+        );
+        let ms = simulate(&red, 20, 31);
+        // Warm the tenant, then poison its 4th ingest.
+        fleet.tenants[t.0].panic_at = Some(4);
+        for s in &ms.snapshots[..6] {
+            fleet.enqueue(t, s.clone()).unwrap();
+        }
+        fleet.drain();
+        assert!(fleet.stats(t).quarantined);
+        assert_eq!(fleet.stats(t).ingested, 4, "poison pill consumed");
+        assert_eq!(fleet.stats(t).queued, 2, "leftovers survive quarantine");
+        // Revive: the estimator rebuilds cold from the tenant's own
+        // topology and config; counters are retained.
+        let ev = fleet.revive_tenant(t).unwrap();
+        assert!(matches!(ev.kind, FleetEventKind::TenantRevived));
+        assert_eq!(ev.tenant, t);
+        assert!(!fleet.stats(t).quarantined);
+        assert_eq!(fleet.stats(t).ingested, 4);
+        // The queued leftovers drain first, then the rest of the
+        // stream flows normally.
+        fleet.drain();
+        for s in &ms.snapshots[6..] {
+            fleet.enqueue(t, s.clone()).unwrap();
+        }
+        fleet.drain();
+        assert_eq!(fleet.stats(t).ingested, 20);
+        // Gate: the revived tenant is bit-identical to a standalone
+        // estimator fed the post-revive stream (snapshots 4.. — the
+        // pill itself was consumed by the panic).
+        let mut fresh = OnlineEstimator::new(&red, OnlineConfig::default());
+        for s in &ms.snapshots[4..] {
+            fresh.ingest(s).unwrap();
+        }
+        assert_eq!(
+            fleet.estimator(t).variances().unwrap().v,
+            fresh.variances().unwrap().v
+        );
+        assert_eq!(
+            fleet.estimator(t).congested_links(),
+            fresh.congested_links()
+        );
+        assert_eq!(fleet.estimator(t).kept_columns(), fresh.kept_columns());
+    }
+
+    #[test]
+    fn update_topology_churns_live_tenant_and_emits_events() {
+        use losstomo_core::streaming::WindowMode;
+        use losstomo_topology::PathId;
+        let red = fixtures::reduced(&fixtures::figure2());
+        let cfg = OnlineConfig {
+            window: WindowMode::Sliding(8),
+            ..OnlineConfig::default()
+        };
+        let mut fleet = Fleet::new(FleetConfig {
+            queue_capacity: 32,
+            ..FleetConfig::default()
+        });
+        let t = fleet.add_tenant("t", &red, cfg);
+        let ms = simulate(&red, 20, 41);
+        fleet
+            .ingest_batch(ms.snapshots.iter().cloned().map(|s| (t, s)))
+            .unwrap();
+        let nc = red.num_links();
+        let delta = TopologyDelta::new().reroute_path(PathId(0), vec![0, nc - 1]);
+        let events = fleet.update_topology(t, &delta).unwrap();
+        let churned = events.last().expect("churn event always emitted");
+        assert_eq!(churned.tenant, t);
+        match &churned.kind {
+            FleetEventKind::TopologyChurned {
+                added,
+                removed,
+                rerouted,
+                snapshots_until_flush,
+                rebuilt,
+            } => {
+                assert_eq!((*added, *removed, *rerouted), (0, 0, 1));
+                assert!(snapshots_until_flush.is_some(), "sliding window flushes");
+                // A rebuild is only legal with a companion error event.
+                if *rebuilt {
+                    assert!(events.iter().any(|e| matches!(
+                        e.kind,
+                        FleetEventKind::EstimatorError { .. }
+                    )));
+                }
+            }
+            other => panic!("expected TopologyChurned, got {other:?}"),
+        }
+        // The tenant serves the new topology without having been
+        // drained or rebuilt; post-churn snapshots flow normally and
+        // the window eventually flushes.
+        let mut red2 = red.clone();
+        red2.apply_delta(&delta).unwrap();
+        let ms2 = simulate(&red2, 12, 42);
+        fleet
+            .ingest_batch(ms2.snapshots.iter().cloned().map(|s| (t, s)))
+            .unwrap();
+        assert!(fleet.estimator(t).covariance().is_churn_free());
+        assert!(fleet.estimator(t).variances().is_some());
+        assert!(!fleet.stats(t).quarantined);
+        // An invalid delta is rejected loudly and changes nothing.
+        let err = fleet
+            .update_topology(t, &TopologyDelta::new().remove_path(PathId(99)))
+            .unwrap_err();
+        assert!(matches!(err, FleetError::RejectedDelta { tenant, .. } if tenant == t));
+        assert_eq!(fleet.estimator(t).topology().num_paths(), red2.num_paths());
     }
 
     #[test]

@@ -22,6 +22,13 @@ pub enum LinalgError {
     },
     /// An empty matrix or vector was supplied where data is required.
     Empty,
+    /// A non-finite (NaN/±∞) input entry where finite data is required
+    /// — e.g. a snapshot row that would otherwise poison running
+    /// moments. Rejected before any state is touched.
+    NonFinite {
+        /// Index of the first non-finite entry.
+        index: usize,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -35,6 +42,9 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix is not positive definite (pivot {index})")
             }
             LinalgError::Empty => write!(f, "empty matrix or vector"),
+            LinalgError::NonFinite { index } => {
+                write!(f, "non-finite value at index {index}")
+            }
         }
     }
 }
@@ -54,6 +64,7 @@ mod tests {
             .to_string()
             .contains("positive definite"));
         assert_eq!(LinalgError::Empty.to_string(), "empty matrix or vector");
+        assert!(LinalgError::NonFinite { index: 3 }.to_string().contains('3'));
     }
 
     #[test]

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod alias;
+pub mod churn;
 pub mod fixtures;
 pub mod flutter;
 pub mod gen;
@@ -32,6 +33,7 @@ pub mod path;
 pub mod routing;
 
 pub use alias::{reduce, ReducedTopology, VirtualLink, VirtualLinkId};
+pub use churn::{ChurnError, DeltaEffect, TopologyDelta, TopologyEdit};
 pub use matrix::{RoutingMatrix, RoutingMatrixBuilder};
 pub use gen::GeneratedTopology;
 pub use graph::{Graph, Link, LinkId, Node, NodeId, NodeKind};

@@ -164,9 +164,9 @@ pub mod prelude {
         check_identifiability, cross_validate, estimate_delay_variances, estimate_variances,
         infer_link_delays, infer_link_rates, location_accuracy, run_experiment, run_many,
         scfs_diagnose, AugmentedSystem, CenteredMeasurements, CrossValidationConfig,
-        DelayEstimate, EliminationStrategy, ExperimentConfig, FactorRefresh, LiaConfig,
-        LinkRateEstimate, OnlineConfig, OnlineEstimator, OnlineUpdate, ScfsConfig, ScratchMode,
-        StreamingCovariance, VarianceConfig, WindowMode,
+        ChurnReport, DelayEstimate, EliminationStrategy, ExperimentConfig, FactorRefresh,
+        LiaConfig, LinkRateEstimate, OnlineConfig, OnlineEstimator, OnlineUpdate, ScfsConfig,
+        ScratchMode, Staleness, StreamingCovariance, VarianceConfig, WindowMode,
     };
     pub use losstomo_fleet::{
         Fleet, FleetConfig, FleetError, FleetEvent, FleetEventKind, TenantId, TenantStats,
@@ -177,8 +177,8 @@ pub mod prelude {
         ProbeConfig, Snapshot, SnapshotFanIn, SnapshotStream, TracerouteConfig,
     };
     pub use losstomo_topology::{
-        compute_paths, reduce, Graph, LinkId, NodeId, NodeKind, Path, PathId, PathSet,
-        ReducedTopology,
+        compute_paths, reduce, ChurnError, Graph, LinkId, NodeId, NodeKind, Path, PathId,
+        PathSet, ReducedTopology, TopologyDelta, TopologyEdit,
     };
 }
 

@@ -1,0 +1,227 @@
+//! Workspace gate for live topology churn: estimators survive routing
+//! changes mid-stream, and once the covariance window flushes its
+//! pre-churn history the churned estimator is **bit-identical** to a
+//! fresh one built on the new topology — the robustness analogue of the
+//! streaming exactness contract. Also pins that churning one fleet
+//! tenant never perturbs its neighbours.
+
+use losstomo::prelude::*;
+use losstomo::topology::gen::tree::{self, TreeParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_tree(seed: u64) -> ReducedTopology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = tree::generate(
+        TreeParams {
+            nodes: 30,
+            max_branching: 4,
+        },
+        &mut rng,
+    );
+    let paths = compute_paths(&topo.graph, &topo.beacons, &topo.destinations);
+    reduce(&topo.graph, &paths)
+}
+
+/// A synthetic log-rate row for the current path count: finite,
+/// negative (rates in (0.5, 1.0)), seeded.
+fn random_row(rng: &mut StdRng, np: usize) -> Vec<f64> {
+    (0..np).map(|_| rng.gen_range(0.5f64..1.0).ln()).collect()
+}
+
+/// A valid random delta against a topology with `np` paths and `nc`
+/// link columns: 1–3 edits mixing adds, removals, reroutes, and link
+/// remaps, tracking the running path count so every edit is in range.
+fn random_delta(rng: &mut StdRng, np: usize, nc: usize) -> TopologyDelta {
+    let mut delta = TopologyDelta::new();
+    let mut cur_np = np;
+    for _ in 0..rng.gen_range(1..=3usize) {
+        match rng.gen_range(0..4u8) {
+            0 => {
+                let k = rng.gen_range(1..=3usize.min(nc));
+                delta = delta.add_path((0..k).map(|_| rng.gen_range(0..nc)).collect());
+                cur_np += 1;
+            }
+            1 if cur_np > 3 => {
+                delta = delta.remove_path(PathId(rng.gen_range(0..cur_np) as u32));
+                cur_np -= 1;
+            }
+            2 => {
+                let p = rng.gen_range(0..cur_np);
+                let k = rng.gen_range(1..=3usize.min(nc));
+                delta = delta
+                    .reroute_path(PathId(p as u32), (0..k).map(|_| rng.gen_range(0..nc)).collect());
+            }
+            _ => {
+                delta = delta.remap_link(rng.gen_range(0..nc), rng.gen_range(0..nc));
+            }
+        }
+    }
+    delta
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random delta sequences (add/remove/reroute/remap interleaved
+    /// with snapshots) on random trees: after the sliding window
+    /// flushes, the churned estimator's refresh outcome, variances,
+    /// Phase-2 estimates, and kept columns are bitwise equal to a
+    /// fresh estimator on the new topology fed the same window.
+    #[test]
+    fn churned_estimator_is_bit_identical_to_fresh_after_flush(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(7));
+        let mut red = random_tree(seed);
+        let nc = red.num_links();
+        let w = 8usize;
+        let cfg = OnlineConfig {
+            window: WindowMode::Sliding(w),
+            ..OnlineConfig::default()
+        };
+        let mut online = OnlineEstimator::new(&red, cfg);
+        for round in 0..3 {
+            for _ in 0..rng.gen_range(2..6usize) {
+                let row = random_row(&mut rng, red.num_paths());
+                let _ = online.ingest_log_rates(&row);
+            }
+            if round < 2 {
+                let delta = random_delta(&mut rng, red.num_paths(), nc);
+                red.apply_delta(&delta).expect("generated delta is valid");
+                let report = online.apply_delta(&delta).expect("estimator accepts valid delta");
+                // The estimator tracks the mirror topology exactly.
+                prop_assert!(online.topology().matrix == red.matrix);
+                prop_assert_eq!(
+                    report.carried_pairs + report.recomputed_pairs,
+                    online.augmented().num_rows()
+                );
+            }
+        }
+        // Flush the window: w post-churn rows, retained verbatim.
+        let mut tail: Vec<Vec<f64>> = Vec::new();
+        for _ in 0..w {
+            let row = random_row(&mut rng, red.num_paths());
+            let _ = online.ingest_log_rates(&row);
+            tail.push(row);
+        }
+        prop_assert!(online.covariance().is_churn_free());
+        prop_assert!(online.staleness().is_flushed());
+        prop_assert_eq!(online.staleness().warming_pairs, 0);
+        // The robustness gate: bit-identical to a fresh estimator fed
+        // the same window, including the failure mode (both succeed or
+        // both report the same unsolvable system).
+        let mut fresh = OnlineEstimator::new(&red, cfg);
+        for row in &tail {
+            let _ = fresh.ingest_log_rates(row);
+        }
+        let a = online.refresh();
+        let b = fresh.refresh();
+        prop_assert!(
+            a.is_ok() == b.is_ok(),
+            "refresh outcome diverged: {:?} vs {:?}",
+            a,
+            b
+        );
+        if a.is_ok() {
+            prop_assert_eq!(&online.variances().unwrap().v, &fresh.variances().unwrap().v);
+            prop_assert_eq!(online.kept_columns(), fresh.kept_columns());
+            let y = tail.last().unwrap();
+            prop_assert_eq!(
+                online.estimate(y).unwrap().transmission,
+                fresh.estimate(y).unwrap().transmission
+            );
+        }
+    }
+}
+
+/// Fleet isolation: applying a topology delta to one tenant leaves a
+/// neighbouring tenant's event stream and estimator state bitwise
+/// unchanged relative to a control fleet that never churned.
+#[test]
+fn churning_one_tenant_never_perturbs_another() {
+    let red_a = random_tree(77);
+    let red_b = random_tree(78);
+    let mut rng = StdRng::seed_from_u64(79);
+    let mut scenario_a = CongestionScenario::draw(
+        red_a.num_links(),
+        0.3,
+        CongestionDynamics::Markov {
+            stay_congested: 0.8,
+        },
+        &mut rng,
+    );
+    let mut scenario_b = CongestionScenario::draw(
+        red_b.num_links(),
+        0.3,
+        CongestionDynamics::Markov {
+            stay_congested: 0.8,
+        },
+        &mut rng,
+    );
+    let probe = ProbeConfig {
+        probes_per_snapshot: 120,
+        ..ProbeConfig::default()
+    };
+    let ms_a = simulate_run(&red_a, &mut scenario_a, &probe, 24, &mut rng);
+    let ms_b = simulate_run(&red_b, &mut scenario_b, &probe, 24, &mut rng);
+
+    let cfg = OnlineConfig {
+        window: WindowMode::Sliding(8),
+        ..OnlineConfig::default()
+    };
+    let mut churned = Fleet::new(FleetConfig::default());
+    let a = churned.add_tenant("a", &red_a, cfg);
+    let b = churned.add_tenant("b", &red_b, cfg);
+    let mut control = Fleet::new(FleetConfig::default());
+    let cb = control.add_tenant("b", &red_b, cfg);
+
+    let mut churned_b_events: Vec<String> = Vec::new();
+    let mut control_b_events: Vec<String> = Vec::new();
+    let nc_a = red_a.num_links();
+    let mut red_a2 = red_a.clone();
+    for (i, (sa, sb)) in ms_a.snapshots.iter().zip(ms_b.snapshots.iter()).enumerate() {
+        // Half-way through, tenant a's routing churns mid-stream.
+        if i == 12 {
+            let delta = TopologyDelta::new()
+                .reroute_path(PathId(0), vec![0, nc_a - 1])
+                .add_path(vec![0, 1]);
+            red_a2.apply_delta(&delta).unwrap();
+            let events = churned.update_topology(a, &delta).unwrap();
+            assert!(events
+                .iter()
+                .all(|e| e.tenant == a), "admin events stay on the churned tenant");
+        }
+        // Tenant a's feed follows its current topology.
+        if i < 12 {
+            churned.enqueue(a, sa.clone()).unwrap();
+        } else {
+            let mut sc2 = CongestionScenario::draw(
+                red_a2.num_links(),
+                0.3,
+                CongestionDynamics::Fixed,
+                &mut rng,
+            );
+            let sa2 = simulate_run(&red_a2, &mut sc2, &probe, 1, &mut rng);
+            churned.enqueue(a, sa2.snapshots[0].clone()).unwrap();
+        }
+        churned.enqueue(b, sb.clone()).unwrap();
+        control.enqueue(cb, sb.clone()).unwrap();
+        for e in churned.drain() {
+            if e.tenant == b {
+                churned_b_events.push(format!("{}:{:?}", e.seq, e.kind));
+            }
+        }
+        for e in control.drain() {
+            control_b_events.push(format!("{}:{:?}", e.seq, e.kind));
+        }
+    }
+    assert_eq!(churned_b_events, control_b_events, "neighbour events diverged");
+    assert_eq!(
+        churned.estimator(b).variances().unwrap().v,
+        control.estimator(cb).variances().unwrap().v
+    );
+    assert_eq!(
+        churned.estimator(b).congested_links(),
+        control.estimator(cb).congested_links()
+    );
+}

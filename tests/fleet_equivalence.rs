@@ -173,6 +173,10 @@ fn assert_fleet_matches_reference(
                 | FleetEventKind::TenantQuarantined { message } => {
                     panic!("tenant {t}: unexpected estimator error: {message}")
                 }
+                other @ (FleetEventKind::TopologyChurned { .. }
+                | FleetEventKind::TenantRevived) => {
+                    panic!("tenant {t}: unexpected admin event: {other:?}")
+                }
             })
             .collect();
         assert_eq!(
