@@ -216,6 +216,82 @@ pub fn run_grid(
         .collect()
 }
 
+/// Aggregated outcome of one cell of a *metric* grid (see
+/// [`run_grid_metric`]): a scalar per successful seed instead of a full
+/// [`ExperimentResult`].
+#[derive(Debug, Clone)]
+pub struct MetricOutcome {
+    /// The cell's label.
+    pub label: String,
+    /// Mean metric over the successful runs (0 when all runs failed —
+    /// check [`MetricOutcome::failed`]).
+    pub mean: f64,
+    /// Every successful run's metric, in seed order.
+    pub values: Vec<f64>,
+    /// Runs that failed and were skipped.
+    pub failed: usize,
+}
+
+/// [`run_grid`] for binaries whose per-seed measurement is *not*
+/// [`losstomo_core::run_experiment`] — cross-validation rounds, churn
+/// replays, anything that reduces one seeded run to a scalar. Each
+/// cell's `runner` is called with seeds `cfg.seed .. cfg.seed + runs`
+/// (in parallel across [`losstomo_core::parallel::num_threads`]
+/// workers, results in seed order), failures are counted per cell, and
+/// the per-cell mean is precomputed.
+pub fn run_grid_metric<F>(cases: Vec<GridCase>, runs: usize, runner: F) -> Vec<MetricOutcome>
+where
+    F: Fn(&ExperimentConfig) -> Result<f64, losstomo_linalg::LinalgError> + Sync,
+{
+    cases
+        .into_iter()
+        .map(|case| {
+            let n_threads = losstomo_core::parallel::num_threads().min(runs.max(1));
+            let slots: std::sync::Mutex<Vec<Option<Result<f64, losstomo_linalg::LinalgError>>>> =
+                std::sync::Mutex::new((0..runs).map(|_| None).collect());
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..n_threads {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= runs {
+                            break;
+                        }
+                        let mut run_cfg = case.cfg;
+                        run_cfg.seed = case.cfg.seed + i as u64;
+                        let r = runner(&run_cfg);
+                        slots.lock().expect("slot lock")[i] = Some(r);
+                    });
+                }
+            });
+            let mut values = Vec::with_capacity(runs);
+            let mut failed = 0usize;
+            for r in slots
+                .into_inner()
+                .expect("slot lock")
+                .into_iter()
+                .map(|s| s.expect("worker filled slot"))
+            {
+                match r {
+                    Ok(v) => values.push(v),
+                    Err(_) => failed += 1,
+                }
+            }
+            let mean = if values.is_empty() {
+                0.0
+            } else {
+                values.iter().sum::<f64>() / values.len() as f64
+            };
+            MetricOutcome {
+                label: case.label,
+                mean,
+                values,
+                failed,
+            }
+        })
+        .collect()
+}
+
 /// Prints the standard `label | DR | FPR` table for a grid's outcomes
 /// (label column sized to the widest label).
 pub fn print_grid_dr_fpr(label_header: &str, outcomes: &[GridOutcome]) {
@@ -489,5 +565,55 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.1234), "12.34%");
+    }
+
+    #[test]
+    fn run_grid_metric_sweeps_seeds_in_order() {
+        let cases = vec![
+            GridCase::new(
+                "a",
+                ExperimentConfig {
+                    seed: 100,
+                    ..ExperimentConfig::default()
+                },
+            ),
+            GridCase::new(
+                "b",
+                ExperimentConfig {
+                    seed: 200,
+                    ..ExperimentConfig::default()
+                },
+            ),
+        ];
+        let outcomes = run_grid_metric(cases, 4, |cfg| Ok(cfg.seed as f64));
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].label, "a");
+        assert_eq!(outcomes[0].values, vec![100.0, 101.0, 102.0, 103.0]);
+        assert_eq!(outcomes[0].mean, 101.5);
+        assert_eq!(outcomes[1].values, vec![200.0, 201.0, 202.0, 203.0]);
+        assert_eq!(outcomes[0].failed, 0);
+    }
+
+    #[test]
+    fn run_grid_metric_counts_failures_without_poisoning_mean() {
+        let cases = vec![GridCase::new("c", ExperimentConfig::default())];
+        let outcomes = run_grid_metric(cases, 5, |cfg| {
+            if cfg.seed % 2 == 0 {
+                Ok(1.0)
+            } else {
+                Err(losstomo_linalg::LinalgError::Empty)
+            }
+        });
+        assert_eq!(outcomes[0].values, vec![1.0, 1.0, 1.0]);
+        assert_eq!(outcomes[0].failed, 2);
+        assert_eq!(outcomes[0].mean, 1.0);
+        // All-failed cells report 0, not NaN.
+        let all_fail = run_grid_metric(
+            vec![GridCase::new("d", ExperimentConfig::default())],
+            2,
+            |_| Err::<f64, _>(losstomo_linalg::LinalgError::Empty),
+        );
+        assert_eq!(all_fail[0].mean, 0.0);
+        assert_eq!(all_fail[0].failed, 2);
     }
 }

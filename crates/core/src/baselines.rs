@@ -7,8 +7,12 @@
 //! QR (the numerically best-conditioned column subset gets nonzero
 //! rates, every other link is assigned loss 0). Comparing it against LIA
 //! quantifies exactly how much the second-order information buys.
+//!
+//! The solver itself lives in the estimator zoo
+//! ([`crate::estimator::FirstMomentEstimator`]); this function is the
+//! historical entry point, kept for callers that only want the rates.
 
-use losstomo_linalg::{LinalgError, PivotedQr};
+use losstomo_linalg::LinalgError;
 use losstomo_topology::ReducedTopology;
 
 /// Infers per-link transmission rates from one snapshot's log
@@ -22,26 +26,7 @@ pub fn first_moment_basic(
     red: &ReducedTopology,
     y: &[f64],
 ) -> Result<Vec<f64>, LinalgError> {
-    if y.len() != red.num_paths() {
-        return Err(LinalgError::DimensionMismatch(format!(
-            "snapshot has {} paths, topology has {}",
-            y.len(),
-            red.num_paths()
-        )));
-    }
-    let dense = red.matrix.to_dense();
-    let qr = PivotedQr::new(&dense)?;
-    let basis = qr.independent_columns();
-    let sub = dense.select_columns(&basis);
-    let x = PivotedQr::new(&sub)?.solve_least_squares(y)?;
-    let mut transmission = vec![1.0; red.num_links()];
-    for (pos, &k) in basis.iter().enumerate() {
-        // Deliberately NOT clamped to [0, 1]: the basic solution happily
-        // assigns non-physical rates > 1 to compensate other links —
-        // one more symptom of first-moment un-identifiability.
-        transmission[k] = x[pos].exp();
-    }
-    Ok(transmission)
+    crate::estimator::first_moment_solution(red, y).map(|(transmission, _kept)| transmission)
 }
 
 #[cfg(test)]

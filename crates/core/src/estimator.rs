@@ -1,0 +1,984 @@
+//! The estimator zoo: pluggable loss-inference backends behind one
+//! [`LossEstimator`] trait.
+//!
+//! The paper's LIA is one point in a space of loss-tomography
+//! estimators. This module makes the space explicit:
+//!
+//! | backend | idea | role |
+//! |---------|------|------|
+//! | [`EstimatorKind::Lia`] | two-phase GMM (Phase 1 variances, Phase 2 elimination) | the paper's algorithm, bit-identical to the pre-trait pipeline |
+//! | [`EstimatorKind::ZhuMle`] | closed-form MLE on trees (Zhu) | analytic oracle: exact where it applies, errors cleanly elsewhere |
+//! | [`EstimatorKind::DengFast`] | per-link moment matching + Gauss–Seidel (Deng et al.) | the speed point on meshes — skips the `O(paths²)` pair system |
+//! | [`EstimatorKind::FirstMoment`] | pivoted-QR basic solution of `Y = R X` | deliberately naive floor: what no second-order information buys |
+//!
+//! LIA and Zhu share Phase 2 ([`infer_link_rates`]) verbatim, so their
+//! output differences isolate the *variance learning* strategy; the
+//! fast backend additionally swaps in a variance-screened Phase 2 (see
+//! [`DengFastEstimator`]) that rank-searches only the columns whose
+//! learned variance clears the noise floor. The backends remain oracles
+//! for each other
+//! (`tests/estimator_agreement.rs`): Zhu's closed form is exact on
+//! trees, so any backend disagreeing there is wrong; LIA is pinned
+//! bit-identical to the historical pipeline by golden fixtures.
+//!
+//! ## Zhu's closed form, in this codebase's terms
+//!
+//! On a (logical) tree, two paths' shared links are exactly the common
+//! root→meet prefix, so `Σ̂_{ij} = Σ_{k ∈ prefix} v_k = S(meet(i,j))`
+//! where `S(e)` is the cumulative variance from the root down to `e`.
+//! Grouping the sample covariances by their pairs' meet link therefore
+//! estimates every `S(e)` directly (no least squares), and
+//! `v_e = S(e) − S(parent(e))` falls out by differencing along the
+//! tree. The tree itself is never given to us — it is *reconstructed*
+//! from `paths_per_link`: on a tree, a path's links sorted by strictly
+//! decreasing traverser count are its root→leaf order (ties cannot
+//! survive [`losstomo_topology::reduce`]'s duplicate-column merge), and
+//! the per-path orders must assemble into a trie with unique parents.
+//! Any violation means the routing is not tree-like and the backend
+//! reports [`LinalgError::DimensionMismatch`] instead of guessing.
+
+use crate::augmented::AugmentedSystem;
+use crate::budget::{apply_budget, PairBudget};
+use crate::covariance::CenteredMeasurements;
+use crate::lia::{
+    infer_link_rates, rates_from_solution, solve_reduced, LiaConfig, LinkRateEstimate, RankView,
+};
+use crate::variance::{estimate_variances_from_sigmas, VarianceConfig};
+use losstomo_linalg::{LinalgError, PivotedQr};
+use losstomo_topology::ReducedTopology;
+use serde::{Deserialize, Serialize};
+
+/// Which estimator backend to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EstimatorKind {
+    /// The paper's two-phase LIA (default).
+    #[default]
+    Lia,
+    /// Zhu's closed-form MLE — exact on tree topologies, typed error on
+    /// anything else.
+    ZhuMle,
+    /// Deng-style fast moment matching for general topologies.
+    DengFast,
+    /// First-moment pivoted-QR basic solution (no variance learning).
+    FirstMoment,
+}
+
+impl EstimatorKind {
+    /// Stable lowercase name (CLI flags, bench JSON, fixture keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            EstimatorKind::Lia => "lia",
+            EstimatorKind::ZhuMle => "zhu-mle",
+            EstimatorKind::DengFast => "deng-fast",
+            EstimatorKind::FirstMoment => "first-moment",
+        }
+    }
+
+    /// Every backend, in frontier display order.
+    pub fn all() -> [EstimatorKind; 4] {
+        [
+            EstimatorKind::Lia,
+            EstimatorKind::ZhuMle,
+            EstimatorKind::DengFast,
+            EstimatorKind::FirstMoment,
+        ]
+    }
+
+    /// Parses a backend name (the forms accepted by bench `--estimator`
+    /// flags); `None` for anything unknown.
+    pub fn parse(s: &str) -> Option<EstimatorKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "lia" => Some(EstimatorKind::Lia),
+            "zhu" | "zhu-mle" | "zhumle" => Some(EstimatorKind::ZhuMle),
+            "deng" | "deng-fast" | "dengfast" => Some(EstimatorKind::DengFast),
+            "first-moment" | "firstmoment" | "fm" => Some(EstimatorKind::FirstMoment),
+            _ => None,
+        }
+    }
+
+    /// Instantiates this backend (see [`build_estimator`]).
+    pub fn build(
+        self,
+        lia: LiaConfig,
+        variance: VarianceConfig,
+        pair_budget: PairBudget,
+    ) -> Box<dyn LossEstimator> {
+        build_estimator(self, lia, variance, pair_budget)
+    }
+}
+
+/// Self-reported cost and intermediate state of one estimate.
+#[derive(Debug, Clone)]
+pub struct EstimatorDiagnostics {
+    /// The backend that produced the estimate ([`EstimatorKind::name`]).
+    pub backend: &'static str,
+    /// Covariance rows (path pairs) the backend consumed.
+    pub rows_used: usize,
+    /// Rows dropped or clamped for having negative sample covariance.
+    pub dropped_rows: usize,
+    /// Learnt per-link variances (all zeros for backends that don't
+    /// estimate variances, such as the first-moment baseline).
+    pub variances: Vec<f64>,
+}
+
+/// One backend's answer: the per-link rate estimate plus diagnostics.
+#[derive(Debug, Clone)]
+pub struct EstimatorOutput {
+    /// Per-link transmission rates, kept mask, and kept count — the
+    /// same container every consumer of [`infer_link_rates`] already
+    /// speaks.
+    pub estimate: LinkRateEstimate,
+    /// Cost and intermediate state.
+    pub diagnostics: EstimatorDiagnostics,
+}
+
+impl EstimatorOutput {
+    /// Links whose estimated loss rate exceeds `threshold`.
+    pub fn congested_links(&self, threshold: f64) -> Vec<usize> {
+        self.estimate.congested_links(threshold)
+    }
+}
+
+/// A pluggable loss-inference backend.
+///
+/// Backends are constructed from configuration only (cheap, reusable
+/// across topologies) and do all their work in [`estimate`]: given the
+/// reduced topology, the centred training measurements, and the
+/// evaluation snapshot's log path rates, produce per-link rates. The
+/// trait is object-safe so configuration structs can carry a
+/// [`EstimatorKind`] and dispatch at run time.
+///
+/// [`estimate`]: LossEstimator::estimate
+pub trait LossEstimator: Send + Sync {
+    /// Which backend this is.
+    fn kind(&self) -> EstimatorKind;
+
+    /// Stable backend name (defaults to [`EstimatorKind::name`]).
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Runs the full inference: learn whatever the backend learns from
+    /// `centered` (the `m` training snapshots) and solve for per-link
+    /// rates against `y_eval` (the evaluation snapshot's log rates).
+    fn estimate(
+        &self,
+        red: &ReducedTopology,
+        centered: &CenteredMeasurements,
+        y_eval: &[f64],
+    ) -> Result<EstimatorOutput, LinalgError>;
+}
+
+/// Builds the backend for `kind`.
+///
+/// `lia` configures Phase 2 (shared by every variance-producing
+/// backend), `variance` configures LIA's Phase 1, and `pair_budget`
+/// bounds LIA's augmented pair system — the closed-form and fast
+/// backends don't build that system, so the budget doesn't apply to
+/// them.
+pub fn build_estimator(
+    kind: EstimatorKind,
+    lia: LiaConfig,
+    variance: VarianceConfig,
+    pair_budget: PairBudget,
+) -> Box<dyn LossEstimator> {
+    match kind {
+        EstimatorKind::Lia => Box::new(LiaEstimator {
+            lia,
+            variance,
+            pair_budget,
+        }),
+        EstimatorKind::ZhuMle => Box::new(ZhuMleEstimator { lia }),
+        EstimatorKind::DengFast => Box::new(DengFastEstimator { lia }),
+        EstimatorKind::FirstMoment => Box::new(FirstMomentEstimator),
+    }
+}
+
+// ---------------------------------------------------------------------
+// LIA
+// ---------------------------------------------------------------------
+
+/// The paper's two-phase pipeline as a [`LossEstimator`].
+///
+/// Runs exactly the historical `run_experiment` inference path —
+/// augmented system (under `pair_budget`), Phase-1 GMM, Phase-2
+/// elimination — and is pinned bit-identical to it by
+/// `tests/golden_estimators.rs` and the agreement proptests.
+#[derive(Debug, Clone)]
+pub struct LiaEstimator {
+    /// Phase-2 configuration.
+    pub lia: LiaConfig,
+    /// Phase-1 configuration.
+    pub variance: VarianceConfig,
+    /// Row budget for the augmented pair system.
+    pub pair_budget: PairBudget,
+}
+
+impl LossEstimator for LiaEstimator {
+    fn kind(&self) -> EstimatorKind {
+        EstimatorKind::Lia
+    }
+
+    fn estimate(
+        &self,
+        red: &ReducedTopology,
+        centered: &CenteredMeasurements,
+        y_eval: &[f64],
+    ) -> Result<EstimatorOutput, LinalgError> {
+        let (aug, _selection) = apply_budget(AugmentedSystem::build(red), self.pair_budget);
+        let sigmas = centered.pair_covariances(&aug.pair_indices());
+        let var_est = estimate_variances_from_sigmas(red, &aug, &sigmas, &self.variance)?;
+        let estimate = infer_link_rates(red, &var_est.v, y_eval, &self.lia)?;
+        Ok(EstimatorOutput {
+            estimate,
+            diagnostics: EstimatorDiagnostics {
+                backend: self.name(),
+                rows_used: var_est.used_rows,
+                dropped_rows: var_est.dropped_rows,
+                variances: var_est.v,
+            },
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Zhu closed-form MLE (trees)
+// ---------------------------------------------------------------------
+
+/// Zhu's closed-form MLE, exact on logical trees.
+#[derive(Debug, Clone)]
+pub struct ZhuMleEstimator {
+    /// Phase-2 configuration (shared with LIA so the elimination step
+    /// is identical and differences isolate Phase 1).
+    pub lia: LiaConfig,
+}
+
+impl LossEstimator for ZhuMleEstimator {
+    fn kind(&self) -> EstimatorKind {
+        EstimatorKind::ZhuMle
+    }
+
+    fn estimate(
+        &self,
+        red: &ReducedTopology,
+        centered: &CenteredMeasurements,
+        y_eval: &[f64],
+    ) -> Result<EstimatorOutput, LinalgError> {
+        let aug = AugmentedSystem::build(red);
+        let sigmas = centered.pair_covariances(&aug.pair_indices());
+        let v = closed_form_variances(red, &aug, &sigmas)?;
+        let estimate = infer_link_rates(red, &v, y_eval, &self.lia)?;
+        Ok(EstimatorOutput {
+            estimate,
+            diagnostics: EstimatorDiagnostics {
+                backend: self.name(),
+                rows_used: aug.num_rows(),
+                dropped_rows: 0,
+                variances: v,
+            },
+        })
+    }
+}
+
+/// The reconstructed tree order: per-link parent (`usize::MAX` for
+/// roots) and per-link traverser count.
+struct TreeOrder {
+    parent: Vec<usize>,
+    count: Vec<usize>,
+}
+
+const NO_PARENT: usize = usize::MAX;
+
+fn non_tree(detail: String) -> LinalgError {
+    LinalgError::DimensionMismatch(format!(
+        "Zhu closed-form MLE requires a tree topology: {detail}"
+    ))
+}
+
+/// Reconstructs the logical tree from `paths_per_link`, or reports why
+/// the routing is not a tree.
+fn reconstruct_tree(red: &ReducedTopology) -> Result<TreeOrder, LinalgError> {
+    let ppl = red.paths_per_link();
+    let count: Vec<usize> = ppl.iter().map(|ps| ps.len()).collect();
+    let mut parent = vec![NO_PARENT; red.num_links()];
+    let mut parent_known = vec![false; red.num_links()];
+    let mut ordered: Vec<usize> = Vec::new();
+    for p in 0..red.num_paths() {
+        let pid = losstomo_topology::PathId(p as u32);
+        ordered.clear();
+        ordered.extend_from_slice(red.path_links(pid));
+        // Root→leaf order = strictly decreasing traverser count. Ties
+        // between two links of one path would mean identical traverser
+        // sets (on a tree), which the alias reduction merges away — so
+        // a tie here proves the routing is not tree-like.
+        ordered.sort_by(|&a, &b| count[b].cmp(&count[a]).then(a.cmp(&b)));
+        for w in ordered.windows(2) {
+            if count[w[0]] == count[w[1]] {
+                return Err(non_tree(format!(
+                    "links {} and {} on path {p} have equal traverser counts",
+                    w[0], w[1]
+                )));
+            }
+        }
+        let mut prev = NO_PARENT;
+        for &k in ordered.iter() {
+            if parent_known[k] {
+                if parent[k] != prev {
+                    return Err(non_tree(format!(
+                        "link {k} has two distinct parents across paths"
+                    )));
+                }
+            } else {
+                parent[k] = prev;
+                parent_known[k] = true;
+            }
+            prev = k;
+        }
+    }
+    Ok(TreeOrder { parent, count })
+}
+
+/// Zhu's closed-form variance solution on a tree topology.
+///
+/// `sigmas[r]` must be the sample (or exact) covariance of `aug`'s
+/// row-`r` path pair. With exact covariances the output equals the true
+/// per-link variances exactly (the analytic-oracle property the
+/// agreement proptests assert to 1e-10); with sample covariances it is
+/// the closed-form MLE estimate. Returns
+/// [`LinalgError::DimensionMismatch`] when the routing is not a logical
+/// tree.
+pub fn closed_form_variances(
+    red: &ReducedTopology,
+    aug: &AugmentedSystem,
+    sigmas: &[f64],
+) -> Result<Vec<f64>, LinalgError> {
+    if sigmas.len() != aug.num_rows() {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "got {} covariances for {} augmented rows",
+            sigmas.len(),
+            aug.num_rows()
+        )));
+    }
+    let tree = reconstruct_tree(red)?;
+    let nc = red.num_links();
+
+    // Group covariances by the pair's meet link (deepest shared link =
+    // minimal traverser count in the shared set), checking that each
+    // shared set really is the root→meet prefix chain.
+    let mut sum = vec![0.0_f64; nc];
+    let mut rows = vec![0usize; nc];
+    let mut chain: Vec<usize> = Vec::new();
+    for (r, &sigma) in sigmas.iter().enumerate() {
+        let shared = aug.row(r);
+        let meet = *shared
+            .iter()
+            .min_by_key(|&&k| tree.count[k])
+            .expect("augmented rows are non-empty");
+        chain.clear();
+        let mut k = meet;
+        while k != NO_PARENT {
+            chain.push(k);
+            k = tree.parent[k];
+        }
+        if chain.len() != shared.len() {
+            let (i, j) = aug.pair(r);
+            return Err(non_tree(format!(
+                "paths {} and {} share {} links but the root→meet chain has {}",
+                i.index(),
+                j.index(),
+                shared.len(),
+                chain.len()
+            )));
+        }
+        chain.sort_unstable();
+        if chain != shared {
+            let (i, j) = aug.pair(r);
+            return Err(non_tree(format!(
+                "paths {} and {} share links off the root→meet chain",
+                i.index(),
+                j.index()
+            )));
+        }
+        sum[meet] += sigma;
+        rows[meet] += 1;
+    }
+
+    // S(k) = cumulative variance root→k; v_k = S(k) − S(parent(k)).
+    // Every link is some pair's meet after alias reduction: a link with
+    // a single child and no terminating path would have the same
+    // traverser set as that child and be merged away.
+    let mut v = vec![0.0_f64; nc];
+    for k in 0..nc {
+        if rows[k] == 0 {
+            return Err(non_tree(format!("link {k} is no pair's meet link")));
+        }
+        let s_k = sum[k] / rows[k] as f64;
+        let s_parent = if tree.parent[k] == NO_PARENT {
+            0.0
+        } else {
+            let pk = tree.parent[k];
+            sum[pk] / rows[pk] as f64
+        };
+        v[k] = s_k - s_parent;
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------
+// Deng-style fast moment matching (general topologies)
+// ---------------------------------------------------------------------
+
+/// Gauss–Seidel sweeps of the fast backend's redistribution loop.
+const DENG_SWEEPS: usize = 8;
+
+/// Deng-style fast estimator for general topologies.
+///
+/// Fast on **both** phases:
+///
+/// * *Phase 1* — instead of the `O(paths²)`-row augmented system, it
+///   picks a handful of covariance equations *per link* (pairs drawn
+///   from that link's traverser list), then redistributes each
+///   equation's covariance mass across its links with a few damped
+///   Gauss–Seidel sweeps of
+///   `v_k ← mean over rows ∋ k of (σ_r − Σ_{l ∈ row, l ≠ k} v_l)`
+///   clamped at zero — `O(links · m)` instead of `O(pairs · m)`.
+/// * *Phase 2* — instead of the paper-order bisection (a dozen rank
+///   checks on near-full-width systems), it **screens** columns by
+///   learned variance: links below [`DENG_SCREEN_FACTOR`] × the median
+///   (the noise floor, since congestion is sparse) are declared
+///   loss-free outright, and only the small candidate set enters the
+///   rank search and the reduced solve. If congestion is *not* sparse
+///   (candidates exceed half the links) it falls back to the full
+///   [`infer_link_rates`] rather than mis-screen.
+///
+/// The variances are approximate, but detection only consumes their
+/// *order* and the screened solve still least-squares the surviving
+/// columns, so accuracy stays within a few DR points of LIA while the
+/// wall-clock drops by the candidate-set ratio (the `scale_estimators`
+/// bench gates ≥2× on the paper-scale Waxman mesh).
+#[derive(Debug, Clone)]
+pub struct DengFastEstimator {
+    /// Phase-2 configuration (dispatch/backend shared with LIA; the
+    /// elimination strategy only applies on the dense-congestion
+    /// fallback path).
+    pub lia: LiaConfig,
+}
+
+/// Variance screening factor for the fast backend's Phase 2: links
+/// whose learned variance is at or below this multiple of the median
+/// variance (the noise floor under sparse congestion) are treated as
+/// loss-free without entering the rank search.
+pub const DENG_SCREEN_FACTOR: f64 = 10.0;
+
+/// The fast backend's screened Phase 2: rank-search and solve only the
+/// columns whose learned variance clears the noise floor.
+fn deng_screened_phase2(
+    red: &ReducedTopology,
+    variances: &[f64],
+    y: &[f64],
+    cfg: &LiaConfig,
+) -> Result<LinkRateEstimate, LinalgError> {
+    let nc = red.num_links();
+    if y.len() != red.num_paths() {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "snapshot has {} paths, topology has {}",
+            y.len(),
+            red.num_paths()
+        )));
+    }
+    if nc == 0 {
+        return Ok(rates_from_solution(0, &[], &[]));
+    }
+    let mut sorted = variances.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let tau = sorted[nc / 2] * DENG_SCREEN_FACTOR;
+    let mut candidates: Vec<usize> = (0..nc).filter(|&k| variances[k] > tau).collect();
+    // Dense congestion defeats the median-as-noise-floor assumption;
+    // fall back to the full paper-order Phase 2 rather than mis-screen.
+    if candidates.len() * 2 > nc {
+        return infer_link_rates(red, variances, y, cfg);
+    }
+    if candidates.is_empty() {
+        return Ok(rates_from_solution(nc, &[], &[]));
+    }
+    // Paper-order semantics within the candidate set: drop the minimal
+    // prefix of smallest-variance candidates until the rest is
+    // independent. Every rank check touches only candidate columns.
+    candidates.sort_by(|&a, &b| variances[a].total_cmp(&variances[b]));
+    let view = RankView::new(red, cfg.dispatch);
+    let np = red.num_paths();
+    let feasible = |cut: usize| view.subset_full_rank(&candidates[cut..], np);
+    let cut = if feasible(0) {
+        0
+    } else {
+        let (mut lo, mut hi) = (0usize, candidates.len());
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            if feasible(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    };
+    let mut kept = candidates[cut..].to_vec();
+    kept.sort_unstable();
+    let xstar = solve_reduced(&view, &kept, y, cfg.backend)?;
+    Ok(rates_from_solution(nc, &kept, &xstar))
+}
+
+/// Sorted intersection of two ascending link lists.
+fn sorted_intersection(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// The fast backend's equation set: a few path pairs per link, chosen
+/// from the link's traverser list without building the full pair
+/// system. Exposed for the bench binary's row-count reporting.
+pub fn deng_select_pairs(red: &ReducedTopology) -> Vec<(usize, usize)> {
+    let ppl = red.paths_per_link();
+    let mut seen = std::collections::HashSet::new();
+    let mut pairs = Vec::new();
+    let mut push = |a: usize, b: usize, pairs: &mut Vec<(usize, usize)>| {
+        let key = (a.min(b), a.max(b));
+        if seen.insert(key) {
+            pairs.push(key);
+        }
+    };
+    for ps in &ppl {
+        match ps.len() {
+            0 => {}
+            1 => push(ps[0].index(), ps[0].index(), &mut pairs),
+            n => {
+                // Spread the picks across the traverser list so nearby
+                // links don't all select the same pair: first two,
+                // ends, and a middle-adjacent pair.
+                push(ps[0].index(), ps[1].index(), &mut pairs);
+                push(ps[0].index(), ps[n - 1].index(), &mut pairs);
+                if n > 2 {
+                    push(ps[n / 2].index(), ps[n / 2 - 1].index(), &mut pairs);
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// The fast backend's Phase 1: per-link pair selection + Gauss–Seidel
+/// redistribution. Returns `(variances, rows_used, clamped_rows)`.
+pub fn deng_fast_variances(
+    red: &ReducedTopology,
+    centered: &CenteredMeasurements,
+) -> (Vec<f64>, usize, usize) {
+    let nc = red.num_links();
+    let pairs = deng_select_pairs(red);
+    let mut sigmas = centered.pair_covariances(&pairs);
+    // Negative sample covariances carry no variance information
+    // (the paper drops those rows; here we clamp so the row still
+    // pins its links' variances toward zero).
+    let mut clamped = 0usize;
+    for s in sigmas.iter_mut() {
+        if *s < 0.0 {
+            *s = 0.0;
+            clamped += 1;
+        }
+    }
+    // Row supports: shared links of each selected pair.
+    let mut rows: Vec<Vec<usize>> = Vec::with_capacity(pairs.len());
+    let mut rows_of: Vec<Vec<usize>> = vec![Vec::new(); nc];
+    for (r, &(a, b)) in pairs.iter().enumerate() {
+        let row = if a == b {
+            red.path_links(losstomo_topology::PathId(a as u32)).to_vec()
+        } else {
+            sorted_intersection(
+                red.path_links(losstomo_topology::PathId(a as u32)),
+                red.path_links(losstomo_topology::PathId(b as u32)),
+            )
+        };
+        for &k in &row {
+            rows_of[k].push(r);
+        }
+        rows.push(row);
+    }
+    // Gauss–Seidel: each sweep re-solves every link's equations given
+    // the current estimates of the other links on its rows.
+    let mut v = vec![0.0_f64; nc];
+    let mut row_sum: Vec<f64> = rows
+        .iter()
+        .map(|row| row.iter().map(|&l| v[l]).sum())
+        .collect();
+    for _ in 0..DENG_SWEEPS {
+        for k in 0..nc {
+            if rows_of[k].is_empty() {
+                continue;
+            }
+            let mut acc = 0.0;
+            for &r in &rows_of[k] {
+                acc += sigmas[r] - (row_sum[r] - v[k]);
+            }
+            let new = (acc / rows_of[k].len() as f64).max(0.0);
+            let delta = new - v[k];
+            if delta != 0.0 {
+                for &r in &rows_of[k] {
+                    row_sum[r] += delta;
+                }
+                v[k] = new;
+            }
+        }
+    }
+    (v, pairs.len(), clamped)
+}
+
+impl LossEstimator for DengFastEstimator {
+    fn kind(&self) -> EstimatorKind {
+        EstimatorKind::DengFast
+    }
+
+    fn estimate(
+        &self,
+        red: &ReducedTopology,
+        centered: &CenteredMeasurements,
+        y_eval: &[f64],
+    ) -> Result<EstimatorOutput, LinalgError> {
+        let (v, rows_used, clamped) = deng_fast_variances(red, centered);
+        let estimate = deng_screened_phase2(red, &v, y_eval, &self.lia)?;
+        Ok(EstimatorOutput {
+            estimate,
+            diagnostics: EstimatorDiagnostics {
+                backend: self.name(),
+                rows_used,
+                dropped_rows: clamped,
+                variances: v,
+            },
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// First-moment baseline
+// ---------------------------------------------------------------------
+
+/// The naive first-moment baseline as a [`LossEstimator`].
+///
+/// Ignores the training snapshots entirely and solves `Y = R X` for the
+/// evaluation snapshot with the pivoted-QR basic solution (see
+/// [`crate::baselines`], which delegates here).
+#[derive(Debug, Clone)]
+pub struct FirstMomentEstimator;
+
+/// The basic (pivoted-QR) first-moment solution: per-link transmission
+/// rates and the pivot-basis kept mask.
+pub(crate) fn first_moment_solution(
+    red: &ReducedTopology,
+    y: &[f64],
+) -> Result<(Vec<f64>, Vec<bool>), LinalgError> {
+    if y.len() != red.num_paths() {
+        return Err(LinalgError::DimensionMismatch(format!(
+            "snapshot has {} paths, topology has {}",
+            y.len(),
+            red.num_paths()
+        )));
+    }
+    let dense = red.matrix.to_dense();
+    let qr = PivotedQr::new(&dense)?;
+    let basis = qr.independent_columns();
+    let sub = dense.select_columns(&basis);
+    let x = PivotedQr::new(&sub)?.solve_least_squares(y)?;
+    let mut transmission = vec![1.0; red.num_links()];
+    let mut kept = vec![false; red.num_links()];
+    for (pos, &k) in basis.iter().enumerate() {
+        // Deliberately NOT clamped to [0, 1]: the basic solution happily
+        // assigns non-physical rates > 1 to compensate other links —
+        // one more symptom of first-moment un-identifiability.
+        transmission[k] = x[pos].exp();
+        kept[k] = true;
+    }
+    Ok((transmission, kept))
+}
+
+impl LossEstimator for FirstMomentEstimator {
+    fn kind(&self) -> EstimatorKind {
+        EstimatorKind::FirstMoment
+    }
+
+    fn estimate(
+        &self,
+        red: &ReducedTopology,
+        _centered: &CenteredMeasurements,
+        y_eval: &[f64],
+    ) -> Result<EstimatorOutput, LinalgError> {
+        let (transmission, kept) = first_moment_solution(red, y_eval)?;
+        let kept_count = kept.iter().filter(|&&k| k).count();
+        Ok(EstimatorOutput {
+            estimate: LinkRateEstimate {
+                transmission,
+                kept,
+                kept_count,
+            },
+            diagnostics: EstimatorDiagnostics {
+                backend: self.name(),
+                rows_used: 0,
+                dropped_rows: 0,
+                variances: vec![0.0; red.num_links()],
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variance::estimate_variances;
+    use losstomo_netsim::{simulate_run, CongestionDynamics, CongestionScenario, ProbeConfig};
+    use losstomo_topology::gen::tree::{self, TreeParams};
+    use losstomo_topology::gen::waxman::{self, WaxmanParams};
+    use losstomo_topology::{compute_paths, fixtures, reduce};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_tree(seed: u64, nodes: usize) -> ReducedTopology {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = tree::generate(
+            TreeParams {
+                nodes,
+                max_branching: 4,
+            },
+            &mut rng,
+        );
+        let paths = compute_paths(&t.graph, &t.beacons, &t.destinations);
+        reduce(&t.graph, &paths)
+    }
+
+    fn simulated(
+        red: &ReducedTopology,
+        m: usize,
+        seed: u64,
+    ) -> (CenteredMeasurements, Vec<f64>, losstomo_netsim::Snapshot) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scenario = CongestionScenario::draw(
+            red.num_links(),
+            0.1,
+            CongestionDynamics::Fixed,
+            &mut rng,
+        );
+        let ms = simulate_run(red, &mut scenario, &ProbeConfig::default(), m + 1, &mut rng);
+        let train = losstomo_netsim::MeasurementSet {
+            snapshots: ms.snapshots[..m].to_vec(),
+        };
+        let eval = ms.snapshots[m].clone();
+        let y = eval.log_rates();
+        (CenteredMeasurements::new(&train), y, eval)
+    }
+
+    #[test]
+    fn kind_names_roundtrip_through_parse() {
+        for kind in EstimatorKind::all() {
+            assert_eq!(EstimatorKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(EstimatorKind::parse("zhu"), Some(EstimatorKind::ZhuMle));
+        assert_eq!(EstimatorKind::parse("fm"), Some(EstimatorKind::FirstMoment));
+        assert_eq!(EstimatorKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn build_dispatches_every_kind() {
+        for kind in EstimatorKind::all() {
+            let est = build_estimator(
+                kind,
+                LiaConfig::default(),
+                VarianceConfig::default(),
+                PairBudget::Full,
+            );
+            assert_eq!(est.kind(), kind);
+            assert_eq!(est.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn lia_backend_is_bit_identical_to_manual_pipeline() {
+        let red = small_tree(11, 60);
+        let (centered, y, _) = simulated(&red, 25, 5);
+        let backend = LiaEstimator {
+            lia: LiaConfig::default(),
+            variance: VarianceConfig::default(),
+            pair_budget: PairBudget::Full,
+        };
+        let out = backend.estimate(&red, &centered, &y).unwrap();
+        let aug = AugmentedSystem::build(&red);
+        let var_est = estimate_variances(&red, &aug, &centered, &VarianceConfig::default()).unwrap();
+        let manual = infer_link_rates(&red, &var_est.v, &y, &LiaConfig::default()).unwrap();
+        assert_eq!(out.estimate.kept, manual.kept);
+        for (a, b) in out.estimate.transmission.iter().zip(&manual.transmission) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in out.diagnostics.variances.iter().zip(&var_est.v) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(out.diagnostics.dropped_rows, var_est.dropped_rows);
+    }
+
+    #[test]
+    fn zhu_recovers_exact_variances_from_exact_covariances() {
+        let red = small_tree(12, 80);
+        let aug = AugmentedSystem::build(&red);
+        // Synthetic ground-truth variances, then exact covariances
+        // sigma_r = sum of v_true over the row's shared links.
+        let v_true: Vec<f64> = (0..red.num_links())
+            .map(|k| 1e-4 + 1e-3 * ((k * 7 % 13) as f64))
+            .collect();
+        let sigmas: Vec<f64> = (0..aug.num_rows())
+            .map(|r| aug.row(r).iter().map(|&k| v_true[k]).sum())
+            .collect();
+        let v = closed_form_variances(&red, &aug, &sigmas).unwrap();
+        for (k, (a, b)) in v.iter().zip(&v_true).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-10,
+                "link {k}: closed form {a}, truth {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn zhu_rejects_non_tree_topologies() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let t = waxman::generate(
+            WaxmanParams {
+                nodes: 60,
+                hosts: 12,
+                ..WaxmanParams::default()
+            },
+            &mut rng,
+        );
+        let paths = compute_paths(&t.graph, &t.beacons, &t.destinations);
+        let red = reduce(&t.graph, &paths);
+        let (centered, y, _) = simulated(&red, 10, 14);
+        let backend = ZhuMleEstimator {
+            lia: LiaConfig::default(),
+        };
+        let err = backend.estimate(&red, &centered, &y).unwrap_err();
+        let msg = format!("{err:?}");
+        assert!(msg.contains("tree"), "unexpected error: {msg}");
+    }
+
+    #[test]
+    fn zhu_rejects_mismatched_sigma_count() {
+        let red = small_tree(15, 40);
+        let aug = AugmentedSystem::build(&red);
+        assert!(closed_form_variances(&red, &aug, &[0.0]).is_err());
+    }
+
+    #[test]
+    fn deng_pairs_cover_every_traversed_link() {
+        let red = small_tree(16, 80);
+        let pairs = deng_select_pairs(&red);
+        // Every selected pair is normalised and unique.
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in &pairs {
+            assert!(a <= b);
+            assert!(seen.insert((a, b)));
+        }
+        // Every link appears in at least one pair's shared set.
+        let mut covered = vec![false; red.num_links()];
+        for &(a, b) in &pairs {
+            let row = if a == b {
+                red.path_links(losstomo_topology::PathId(a as u32)).to_vec()
+            } else {
+                sorted_intersection(
+                    red.path_links(losstomo_topology::PathId(a as u32)),
+                    red.path_links(losstomo_topology::PathId(b as u32)),
+                )
+            };
+            for k in row {
+                covered[k] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "some link has no equation");
+        // The whole point: far fewer rows than the full pair system.
+        assert!(pairs.len() < AugmentedSystem::build(&red).num_rows());
+    }
+
+    #[test]
+    fn deng_detects_congested_links_on_tree() {
+        let red = small_tree(17, 100);
+        let (centered, y, eval) = simulated(&red, 40, 18);
+        let backend = DengFastEstimator {
+            lia: LiaConfig::default(),
+        };
+        let out = backend.estimate(&red, &centered, &y).unwrap();
+        let threshold = losstomo_netsim::DEFAULT_LOSS_THRESHOLD;
+        let est_flags: Vec<bool> = out
+            .estimate
+            .loss_rates()
+            .iter()
+            .map(|&l| l > threshold)
+            .collect();
+        let truth: Vec<bool> = eval.link_truth.iter().map(|t| t.congested).collect();
+        let loc = crate::metrics::location_accuracy(&truth, &est_flags);
+        assert!(
+            loc.detection_rate > 0.7,
+            "Deng DR {:.2} too low",
+            loc.detection_rate
+        );
+    }
+
+    #[test]
+    fn first_moment_backend_matches_baseline_fn() {
+        let red = fixtures::reduced(&fixtures::figure1());
+        let phi = [0.9_f64, 1.0, 0.8, 1.0, 1.0];
+        let x: Vec<f64> = phi.iter().map(|p| p.ln()).collect();
+        let y = red.matrix.matvec(&x).unwrap();
+        let baseline = crate::baselines::first_moment_basic(&red, &y).unwrap();
+        let backend = FirstMomentEstimator;
+        let centered = CenteredMeasurements::from_rows(vec![y.clone(), y.clone()]);
+        let out = backend.estimate(&red, &centered, &y).unwrap();
+        for (a, b) in out.estimate.transmission.iter().zip(&baseline) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(
+            out.estimate.kept_count,
+            out.estimate.kept.iter().filter(|&&k| k).count()
+        );
+    }
+
+    #[test]
+    fn diagnostics_report_backend_and_rows() {
+        let red = small_tree(19, 60);
+        let (centered, y, _) = simulated(&red, 20, 20);
+        for kind in EstimatorKind::all() {
+            let est = build_estimator(
+                kind,
+                LiaConfig::default(),
+                VarianceConfig::default(),
+                PairBudget::Full,
+            );
+            let out = match est.estimate(&red, &centered, &y) {
+                Ok(out) => out,
+                Err(_) => continue, // Zhu may reject non-ideal shapes
+            };
+            assert_eq!(out.diagnostics.backend, kind.name());
+            assert_eq!(out.diagnostics.variances.len(), red.num_links());
+            assert_eq!(out.estimate.transmission.len(), red.num_links());
+        }
+    }
+
+    #[test]
+    fn sorted_intersection_basics() {
+        assert_eq!(sorted_intersection(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert_eq!(sorted_intersection(&[], &[1]), Vec::<usize>::new());
+        assert_eq!(sorted_intersection(&[4], &[4]), vec![4]);
+    }
+}

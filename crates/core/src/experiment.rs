@@ -6,13 +6,13 @@
 //! cell; [`run_many`] repeats it across seeds in parallel (the paper
 //! averages 10 runs per configuration).
 
-use crate::augmented::AugmentedSystem;
-use crate::budget::{apply_budget, PairBudget};
+use crate::budget::PairBudget;
 use crate::covariance::CenteredMeasurements;
-use crate::lia::{infer_link_rates, LiaConfig, LinkRateEstimate};
+use crate::estimator::{build_estimator, EstimatorKind};
+use crate::lia::{LiaConfig, LinkRateEstimate};
 use crate::metrics::{location_accuracy, LocationAccuracy, RateErrors, DEFAULT_DELTA};
 use crate::scfs::{scfs_diagnose, ScfsConfig};
-use crate::variance::{estimate_variances, VarianceConfig};
+use crate::variance::VarianceConfig;
 use losstomo_linalg::LinalgError;
 use losstomo_netsim::{
     simulate_run, CongestionDynamics, CongestionScenario, ProbeConfig,
@@ -40,6 +40,8 @@ pub struct ExperimentConfig {
     /// Row budget for the augmented pair system (default: the
     /// `LOSSTOMO_PAIR_BUDGET` knob, i.e. full when unset).
     pub pair_budget: PairBudget,
+    /// Which estimator backend runs the inference (default: LIA).
+    pub estimator: EstimatorKind,
     /// Error-factor margin `δ`.
     pub delta: f64,
     /// RNG seed.
@@ -58,6 +60,7 @@ impl Default for ExperimentConfig {
             lia: LiaConfig::default(),
             variance: VarianceConfig::default(),
             pair_budget: PairBudget::default(),
+            estimator: EstimatorKind::default(),
             delta: DEFAULT_DELTA,
             seed: 0,
             run_scfs: false,
@@ -114,21 +117,25 @@ pub fn run_experiment(
         CongestionScenario::draw(red.num_links(), cfg.p_congested, cfg.dynamics, &mut rng);
     let ms = simulate_run(red, &mut scenario, &cfg.probe, cfg.snapshots + 1, &mut rng);
 
-    // Phase 1 on the first m snapshots.
+    // Training snapshots feed the backend's learning stage (Phase 1
+    // for LIA/Zhu/Deng; ignored by the first-moment baseline), the
+    // evaluation snapshot feeds its solve stage.
     let train = losstomo_netsim::MeasurementSet {
         snapshots: ms.snapshots[..cfg.snapshots].to_vec(),
     };
-    let (aug, _selection) = apply_budget(AugmentedSystem::build(red), cfg.pair_budget);
     let centered = CenteredMeasurements::new(&train);
-    let var_est = estimate_variances(red, &aug, &centered, &cfg.variance)?;
-
-    // Phase 2 on the evaluation snapshot.
     let eval = &ms.snapshots[cfg.snapshots];
     let y = eval.log_rates();
-    let est = infer_link_rates(red, &var_est.v, &y, &cfg.lia)?;
+    let backend = build_estimator(cfg.estimator, cfg.lia, cfg.variance, cfg.pair_budget);
+    let out = backend.estimate(red, &centered, &y)?;
 
     Ok(score_against_truth(
-        red, cfg, eval, &est, var_est.v, var_est.dropped_rows,
+        red,
+        cfg,
+        eval,
+        &out.estimate,
+        out.diagnostics.variances,
+        out.diagnostics.dropped_rows,
     ))
 }
 

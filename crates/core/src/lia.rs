@@ -109,7 +109,7 @@ impl RankView {
     /// sorted internally for the sparse one) have full column rank?
     /// `np` is the row count; a subset wider than `np` is trivially
     /// dependent and short-circuits.
-    fn subset_full_rank(&self, kept: &[usize], np: usize) -> bool {
+    pub(crate) fn subset_full_rank(&self, kept: &[usize], np: usize) -> bool {
         if kept.is_empty() {
             return true;
         }

@@ -37,7 +37,10 @@
 //! * [`streaming`] — incremental covariance + online two-phase
 //!   estimation over snapshot streams
 //! * [`scfs`] — the SCFS single-snapshot baseline of Figure 5
-//! * [`baselines`] — naive first-moment inversion
+//! * [`estimator`] — the estimator zoo: LIA, Zhu's closed-form MLE,
+//!   Deng-style fast matching, first-moment, behind one trait
+//! * [`baselines`] — naive first-moment inversion (thin wrapper over
+//!   the zoo's first-moment backend)
 //! * [`metrics`] — DR/FPR, error factor `f_δ`, CDFs, summaries
 //! * [`validate`] — inference/validation split, eq. (11)
 //! * [`analysis`] — Figure-3 scatter, Table-3 AS split, §7.2.2 durations
@@ -54,6 +57,7 @@ pub mod budget;
 pub mod delay;
 pub mod baselines;
 pub mod covariance;
+pub mod estimator;
 pub mod experiment;
 pub mod identifiability;
 pub mod lia;
@@ -70,6 +74,10 @@ pub use budget::{
     PairSelection, PAIR_BUDGET_ENV,
 };
 pub use covariance::CenteredMeasurements;
+pub use estimator::{
+    build_estimator, closed_form_variances, deng_fast_variances, EstimatorDiagnostics,
+    EstimatorKind, EstimatorOutput, LossEstimator,
+};
 pub use experiment::{run_experiment, run_many, ExperimentConfig, ExperimentResult};
 pub use identifiability::{check_identifiability, IdentifiabilityReport};
 pub use delay::{estimate_delay_variances, infer_link_delays, DelayEstimate};

@@ -8,10 +8,11 @@
 //! along the path (restricted to links the inference topology covers)
 //! matches the path's measured rate within a tolerance `ε = 0.005`.
 
-use crate::augmented::AugmentedSystem;
+use crate::budget::PairBudget;
 use crate::covariance::CenteredMeasurements;
-use crate::lia::{infer_link_rates, LiaConfig};
-use crate::variance::{estimate_variances, VarianceConfig};
+use crate::estimator::{build_estimator, EstimatorKind};
+use crate::lia::LiaConfig;
+use crate::variance::VarianceConfig;
 use losstomo_linalg::LinalgError;
 use losstomo_netsim::MeasurementSet;
 use losstomo_topology::alias::{VirtualLink, VirtualLinkId};
@@ -30,6 +31,8 @@ pub struct CrossValidationConfig {
     pub lia: LiaConfig,
     /// Phase-1 configuration.
     pub variance: VarianceConfig,
+    /// Which estimator backend runs on the inference half.
+    pub estimator: EstimatorKind,
 }
 
 impl Default for CrossValidationConfig {
@@ -38,6 +41,7 @@ impl Default for CrossValidationConfig {
             epsilon: 0.005,
             lia: LiaConfig::default(),
             variance: VarianceConfig::default(),
+            estimator: EstimatorKind::default(),
         }
     }
 }
@@ -160,11 +164,12 @@ pub fn cross_validate<R: Rng>(
     };
     let y_inf: Vec<f64> = inference.iter().map(|p| last_row[p.index()]).collect();
 
-    // Phase 1 + Phase 2 on the inference subsystem.
-    let aug = AugmentedSystem::build(&sub.topo);
+    // The configured backend runs on the inference subsystem. The full
+    // pair budget preserves the historical behaviour (cross-validation
+    // never budgeted its — much smaller — subsystem).
     let centered = CenteredMeasurements::from_rows(train_rows);
-    let est_v = estimate_variances(&sub.topo, &aug, &centered, &cfg.variance)?;
-    let est = infer_link_rates(&sub.topo, &est_v.v, &y_inf, &cfg.lia)?;
+    let backend = build_estimator(cfg.estimator, cfg.lia, cfg.variance, PairBudget::Full);
+    let est = backend.estimate(&sub.topo, &centered, &y_inf)?.estimate;
 
     // Disaggregate merged groups geometrically: a group's inferred rate
     // is the product over its constituent links, so each constituent

@@ -1,0 +1,215 @@
+//! Cross-estimator agreement: the zoo's backends as oracles for each
+//! other.
+//!
+//! Three independent implementations of "which links are lossy" give
+//! three chances to catch a regression no single-estimator test can
+//! see:
+//!
+//! * **(a)** Zhu's closed-form MLE is *exact* on trees — fed exact
+//!   covariances it must return the true per-link variances to 1e-10,
+//!   over randomly generated tree topologies;
+//! * **(b)** at the paper's loss separation (congested ≥ 5 % loss,
+//!   good ≤ 0.2 %), every variance-based backend (LIA, Zhu, Deng) must
+//!   flag every truly congested link — their congested sets agree on
+//!   the truth even where their variance estimates differ;
+//! * **(c)** the LIA backend is the pre-refactor
+//!   `estimate_variances` + `infer_link_rates` pipeline *bit-for-bit*:
+//!   the trait added dispatch, not arithmetic.
+
+use losstomo_core::budget::PairBudget;
+use losstomo_core::estimator::{
+    closed_form_variances, DengFastEstimator, LiaEstimator, LossEstimator, ZhuMleEstimator,
+};
+use losstomo_core::lia::{infer_link_rates, LiaConfig};
+use losstomo_core::variance::{estimate_variances, VarianceConfig};
+use losstomo_core::{AugmentedSystem, CenteredMeasurements};
+use losstomo_netsim::{
+    simulate_run, CongestionDynamics, CongestionScenario, MeasurementSet, ProbeConfig,
+    DEFAULT_LOSS_THRESHOLD,
+};
+use losstomo_topology::gen::tree::{self, TreeParams};
+use losstomo_topology::{compute_paths, reduce, ReducedTopology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_tree(nodes: usize, branching: usize, seed: u64) -> ReducedTopology {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = tree::generate(
+        TreeParams {
+            nodes,
+            max_branching: branching,
+        },
+        &mut rng,
+    );
+    let paths = compute_paths(&t.graph, &t.beacons, &t.destinations);
+    reduce(&t.graph, &paths)
+}
+
+/// Simulates `m + 1` snapshots and returns (centred training set,
+/// evaluation log rates, truth congested flags).
+fn simulate(
+    red: &ReducedTopology,
+    p_congested: f64,
+    m: usize,
+    seed: u64,
+) -> (CenteredMeasurements, Vec<f64>, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scenario = CongestionScenario::draw(
+        red.num_links(),
+        p_congested,
+        CongestionDynamics::Fixed,
+        &mut rng,
+    );
+    let ms = simulate_run(red, &mut scenario, &ProbeConfig::default(), m + 1, &mut rng);
+    let train = MeasurementSet {
+        snapshots: ms.snapshots[..m].to_vec(),
+    };
+    let eval = &ms.snapshots[m];
+    (
+        CenteredMeasurements::new(&train),
+        eval.log_rates(),
+        eval.link_truth.iter().map(|t| t.congested).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// (a) Zhu's closed form is the analytic solution on trees: exact
+    /// covariances in, true variances out, to 1e-10.
+    #[test]
+    fn zhu_closed_form_is_exact_on_random_trees(
+        nodes in 20usize..120,
+        branching in 2usize..6,
+        topo_seed in 0u64..10_000,
+        var_seed in 0u64..10_000,
+    ) {
+        let red = random_tree(nodes, branching, topo_seed);
+        let aug = AugmentedSystem::build(&red);
+        let mut vrng = StdRng::seed_from_u64(var_seed);
+        let v_true: Vec<f64> = (0..red.num_links())
+            .map(|_| vrng.gen_range(1e-6..1e-2))
+            .collect();
+        let sigmas: Vec<f64> = (0..aug.num_rows())
+            .map(|r| aug.row(r).iter().map(|&k| v_true[k]).sum())
+            .collect();
+        let v = closed_form_variances(&red, &aug, &sigmas).unwrap();
+        for (k, (a, b)) in v.iter().zip(&v_true).enumerate() {
+            prop_assert!(
+                (a - b).abs() < 1e-10,
+                "link {k}: closed form {a:.12e} vs truth {b:.12e} ({nodes} nodes)"
+            );
+        }
+    }
+
+    /// (b) At the paper's loss separation every variance-based backend
+    /// flags every truly congested link.
+    #[test]
+    fn backends_agree_on_truly_congested_links(
+        nodes in 40usize..90,
+        sim_seed in 0u64..10_000,
+    ) {
+        let red = random_tree(nodes, 4, sim_seed.wrapping_mul(31).wrapping_add(7));
+        let (centered, y, truth) = simulate(&red, 0.08, 50, sim_seed);
+        prop_assume!(truth.iter().any(|&c| c)); // need something to detect
+        let lia_cfg = LiaConfig::default();
+        let backends: [Box<dyn LossEstimator>; 3] = [
+            Box::new(LiaEstimator {
+                lia: lia_cfg,
+                variance: VarianceConfig::default(),
+                pair_budget: PairBudget::Full,
+            }),
+            Box::new(ZhuMleEstimator { lia: lia_cfg }),
+            Box::new(DengFastEstimator { lia: lia_cfg }),
+        ];
+        for backend in &backends {
+            let out = backend.estimate(&red, &centered, &y).unwrap();
+            let flagged = out.congested_links(DEFAULT_LOSS_THRESHOLD);
+            for (k, &congested) in truth.iter().enumerate() {
+                prop_assert!(
+                    !congested || flagged.contains(&k),
+                    "{} missed congested link {k} ({} nodes, seed {sim_seed})",
+                    backend.name(),
+                    nodes
+                );
+            }
+        }
+    }
+
+    /// (c) The LIA backend is bit-identical to the pre-refactor
+    /// pipeline on random trees and seeds.
+    #[test]
+    fn lia_backend_bit_identical_to_pre_refactor_path(
+        nodes in 30usize..100,
+        m in 10usize..30,
+        sim_seed in 0u64..10_000,
+    ) {
+        let red = random_tree(nodes, 5, sim_seed.wrapping_add(101));
+        let (centered, y, _) = simulate(&red, 0.1, m, sim_seed);
+        let backend = LiaEstimator {
+            lia: LiaConfig::default(),
+            variance: VarianceConfig::default(),
+            pair_budget: PairBudget::Full,
+        };
+        let out = backend.estimate(&red, &centered, &y).unwrap();
+
+        // The historical path, spelled out.
+        let aug = AugmentedSystem::build(&red);
+        let var_est =
+            estimate_variances(&red, &aug, &centered, &VarianceConfig::default()).unwrap();
+        let manual = infer_link_rates(&red, &var_est.v, &y, &LiaConfig::default()).unwrap();
+
+        prop_assert_eq!(&out.estimate.kept, &manual.kept);
+        prop_assert_eq!(out.estimate.kept_count, manual.kept_count);
+        for (a, b) in out.estimate.transmission.iter().zip(&manual.transmission) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in out.diagnostics.variances.iter().zip(&var_est.v) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(out.diagnostics.dropped_rows, var_est.dropped_rows);
+        prop_assert_eq!(out.diagnostics.rows_used, var_est.used_rows);
+    }
+}
+
+/// Deterministic pin of (b): on a fixed seed the three variance-based
+/// backends flag supersets of the truth, and LIA's and Zhu's sets match
+/// exactly (they share Phase 2 and their Phase-1 orders coincide on a
+/// well-separated tree).
+#[test]
+fn fixed_seed_congested_sets_pinned() {
+    let red = random_tree(60, 4, 2024);
+    let (centered, y, truth) = simulate(&red, 0.08, 50, 3);
+    let truth_set: Vec<usize> = truth
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c)
+        .map(|(k, _)| k)
+        .collect();
+    assert!(!truth_set.is_empty());
+    let lia_cfg = LiaConfig::default();
+    let lia = LiaEstimator {
+        lia: lia_cfg,
+        variance: VarianceConfig::default(),
+        pair_budget: PairBudget::Full,
+    }
+    .estimate(&red, &centered, &y)
+    .unwrap()
+    .congested_links(DEFAULT_LOSS_THRESHOLD);
+    let zhu = ZhuMleEstimator { lia: lia_cfg }
+        .estimate(&red, &centered, &y)
+        .unwrap()
+        .congested_links(DEFAULT_LOSS_THRESHOLD);
+    let deng = DengFastEstimator { lia: lia_cfg }
+        .estimate(&red, &centered, &y)
+        .unwrap()
+        .congested_links(DEFAULT_LOSS_THRESHOLD);
+    for set in [&lia, &zhu, &deng] {
+        for k in &truth_set {
+            assert!(set.contains(k), "missed truly congested link {k}");
+        }
+    }
+    assert_eq!(lia, zhu, "LIA and Zhu diverged on the pinned seed");
+}
+

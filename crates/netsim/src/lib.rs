@@ -5,6 +5,8 @@
 //! side, built as a substitute for the real testbed (see DESIGN.md):
 //!
 //! * [`loss`] — per-link Gilbert (bursty) and Bernoulli loss processes;
+//! * [`flowlet`] — heavy-tailed flowlet-arrival burst losses, the
+//!   non-i.i.d. trace workload for estimator benchmarking;
 //! * [`models`] — the LLRD1/LLRD2 loss-rate assignment models with the
 //!   `t_l = 0.002` good/congested threshold;
 //! * [`scenario`] — congested-set evolution across snapshots (fixed,
@@ -24,6 +26,7 @@
 pub mod delay;
 pub mod engine;
 pub mod fanin;
+pub mod flowlet;
 pub mod loss;
 pub mod models;
 pub mod packet;
@@ -36,6 +39,7 @@ pub use engine::{
     ProbeConfig, SnapshotStream,
 };
 pub use fanin::{fan_in, SnapshotFanIn};
+pub use flowlet::{FlowletParams, FlowletProcess};
 pub use loss::{BernoulliProcess, GilbertProcess, LossProcess, LossProcessKind};
 pub use models::{LossModel, DEFAULT_LOSS_THRESHOLD};
 pub use scenario::{CongestionDynamics, CongestionScenario};

@@ -30,6 +30,8 @@ pub enum LossProcessKind {
     Gilbert,
     /// Independent per-packet drops.
     Bernoulli,
+    /// Heavy-tailed flowlet-arrival bursts (see [`crate::flowlet`]).
+    Flowlet,
 }
 
 /// The paper's probability of remaining in the bad state
@@ -154,6 +156,8 @@ pub enum AnyLossProcess {
     Gilbert(GilbertProcess),
     /// Bernoulli process.
     Bernoulli(BernoulliProcess),
+    /// Flowlet-arrival bursty process.
+    Flowlet(crate::flowlet::FlowletProcess),
 }
 
 impl AnyLossProcess {
@@ -166,6 +170,9 @@ impl AnyLossProcess {
             LossProcessKind::Bernoulli => {
                 AnyLossProcess::Bernoulli(BernoulliProcess::from_loss_rate(loss_rate))
             }
+            LossProcessKind::Flowlet => {
+                AnyLossProcess::Flowlet(crate::flowlet::FlowletProcess::from_loss_rate(loss_rate))
+            }
         }
     }
 }
@@ -176,6 +183,7 @@ impl LossProcess for AnyLossProcess {
         match self {
             AnyLossProcess::Gilbert(p) => p.packet_survives(rng),
             AnyLossProcess::Bernoulli(p) => p.packet_survives(rng),
+            AnyLossProcess::Flowlet(p) => p.packet_survives(rng),
         }
     }
 
@@ -183,6 +191,7 @@ impl LossProcess for AnyLossProcess {
         match self {
             AnyLossProcess::Gilbert(p) => p.target_loss_rate(),
             AnyLossProcess::Bernoulli(p) => p.target_loss_rate(),
+            AnyLossProcess::Flowlet(p) => p.target_loss_rate(),
         }
     }
 }

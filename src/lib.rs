@@ -17,7 +17,9 @@
 //!   probe engine (batch and [`netsim::simulate_stream`] streaming),
 //!   probe wire format and traceroute error model;
 //! * [`core`] — the LIA algorithm (variance learning + rank-reduced
-//!   first-moment inversion), the streaming
+//!   first-moment inversion), the estimator zoo behind
+//!   [`core::LossEstimator`] (LIA, Zhu's closed-form tree MLE, a
+//!   Deng-style fast solver, first-moment), the streaming
 //!   [`core::streaming::OnlineEstimator`], baselines, metrics and
 //!   analyses;
 //! * [`fleet`] — multi-tenant online inference: a [`fleet::Fleet`] of
@@ -161,20 +163,22 @@ pub fn experiment_setup(
 /// One-stop imports for the common pipeline.
 pub mod prelude {
     pub use losstomo_core::{
-        check_identifiability, cross_validate, estimate_delay_variances, estimate_variances,
-        infer_link_delays, infer_link_rates, location_accuracy, run_experiment, run_many,
-        scfs_diagnose, AugmentedSystem, CenteredMeasurements, CrossValidationConfig,
-        ChurnReport, DelayEstimate, EliminationStrategy, ExperimentConfig, FactorRefresh,
-        LiaConfig, LinkRateEstimate, OnlineConfig, OnlineEstimator, OnlineUpdate, ScfsConfig,
-        ScratchMode, Staleness, StreamingCovariance, VarianceConfig, WindowMode,
+        build_estimator, check_identifiability, cross_validate, estimate_delay_variances,
+        estimate_variances, infer_link_delays, infer_link_rates, location_accuracy,
+        run_experiment, run_many, scfs_diagnose, AugmentedSystem, CenteredMeasurements,
+        CrossValidationConfig, ChurnReport, DelayEstimate, EliminationStrategy,
+        EstimatorDiagnostics, EstimatorKind, EstimatorOutput, ExperimentConfig, FactorRefresh,
+        LiaConfig, LinkRateEstimate, LossEstimator, OnlineConfig, OnlineEstimator, OnlineUpdate,
+        ScfsConfig, ScratchMode, Staleness, StreamingCovariance, VarianceConfig, WindowMode,
     };
     pub use losstomo_fleet::{
         Fleet, FleetConfig, FleetError, FleetEvent, FleetEventKind, TenantId, TenantStats,
     };
     pub use losstomo_netsim::{
         fan_in, simulate_run, simulate_snapshot, simulate_stream, ChainAdvance,
-        CongestionDynamics, CongestionScenario, LossModel, LossProcessKind, MeasurementSet,
-        ProbeConfig, Snapshot, SnapshotFanIn, SnapshotStream, TracerouteConfig,
+        CongestionDynamics, CongestionScenario, FlowletParams, FlowletProcess, LossModel,
+        LossProcessKind, MeasurementSet, ProbeConfig, Snapshot, SnapshotFanIn, SnapshotStream,
+        TracerouteConfig,
     };
     pub use losstomo_topology::{
         compute_paths, reduce, ChurnError, Graph, LinkId, NodeId, NodeKind, Path, PathId,
@@ -196,5 +200,7 @@ mod tests {
         let _w = WindowMode::default();
         let _s = ScratchMode::default();
         let _f = FleetConfig::default();
+        let _k = EstimatorKind::default();
+        let _fl = FlowletParams::default();
     }
 }

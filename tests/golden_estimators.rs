@@ -1,0 +1,150 @@
+//! Golden regression test for the estimator zoo.
+//!
+//! Runs every [`EstimatorKind`] backend on one fixed seeded tree
+//! scenario — same centred measurements, same evaluation snapshot — and
+//! pins each backend's headline numbers (congested-link count, Phase-1
+//! row usage, mean transmission rate, mean learned variance) against a
+//! committed JSON fixture. A behavioural change to *any* backend, or to
+//! the shared simulation stream feeding them, shows up as drift here.
+//!
+//! To regenerate the fixture after an *intentional* change:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test golden_estimators
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+use losstomo::core::budget::PairBudget;
+use losstomo::prelude::*;
+use losstomo::topology::gen::tree::{self, TreeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FIXTURE_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/fixtures/golden_estimators.json"
+);
+
+const THRESHOLD: f64 = losstomo::netsim::DEFAULT_LOSS_THRESHOLD;
+
+fn golden_summary() -> &'static BTreeMap<String, f64> {
+    static SUMMARY: OnceLock<BTreeMap<String, f64>> = OnceLock::new();
+    SUMMARY.get_or_init(run_golden_backends)
+}
+
+fn run_golden_backends() -> BTreeMap<String, f64> {
+    // Same scenario family as golden_pipeline: a 60-node tree, 30
+    // training snapshots, sim seed 9 — but here every backend consumes
+    // the identical measurements.
+    let mut trng = StdRng::seed_from_u64(123);
+    let topo = tree::generate(
+        TreeParams {
+            nodes: 60,
+            max_branching: 4,
+        },
+        &mut trng,
+    );
+    let paths = compute_paths(&topo.graph, &topo.beacons, &topo.destinations);
+    let red = reduce(&topo.graph, &paths);
+
+    let m = 30;
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut scenario =
+        CongestionScenario::draw(red.num_links(), 0.1, CongestionDynamics::Fixed, &mut rng);
+    let ms = simulate_run(&red, &mut scenario, &ProbeConfig::default(), m + 1, &mut rng);
+    let train = MeasurementSet {
+        snapshots: ms.snapshots[..m].to_vec(),
+    };
+    let centered = CenteredMeasurements::new(&train);
+    let y = ms.snapshots[m].log_rates();
+
+    let mut summary = BTreeMap::new();
+    for kind in EstimatorKind::all() {
+        let backend = build_estimator(
+            kind,
+            LiaConfig::default(),
+            VarianceConfig::default(),
+            PairBudget::Full,
+        );
+        let out = backend
+            .estimate(&red, &centered, &y)
+            .expect("every backend supports the golden tree");
+        let n = red.num_links() as f64;
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / n;
+        let name = kind.name();
+        summary.insert(
+            format!("{name}.congested_count"),
+            out.congested_links(THRESHOLD).len() as f64,
+        );
+        summary.insert(
+            format!("{name}.rows_used"),
+            out.diagnostics.rows_used as f64,
+        );
+        summary.insert(
+            format!("{name}.dropped_rows"),
+            out.diagnostics.dropped_rows as f64,
+        );
+        summary.insert(
+            format!("{name}.transmission_mean"),
+            mean(&out.estimate.transmission),
+        );
+        summary.insert(
+            format!("{name}.variance_mean"),
+            mean(&out.diagnostics.variances),
+        );
+    }
+    summary
+}
+
+#[test]
+fn golden_estimators_match_fixture() {
+    let actual = golden_summary();
+
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        let json = serde_json::to_string_pretty(&actual).unwrap();
+        std::fs::write(FIXTURE_PATH, json + "\n").expect("write fixture");
+        return;
+    }
+
+    let fixture: BTreeMap<String, f64> = serde_json::from_str(
+        &std::fs::read_to_string(FIXTURE_PATH).expect("fixture missing — run with GOLDEN_REGEN=1"),
+    )
+    .expect("fixture must parse");
+
+    assert_eq!(
+        fixture.keys().collect::<Vec<_>>(),
+        actual.keys().collect::<Vec<_>>(),
+        "fixture fields drifted from the test's summary"
+    );
+    for (key, expected) in &fixture {
+        let got = actual[key];
+        assert!(
+            (got - expected).abs() < 1e-9,
+            "golden drift on `{key}`: fixture {expected}, got {got}"
+        );
+    }
+}
+
+/// The fixture's internal cross-backend invariants, independent of the
+/// JSON numbers: every backend finds congestion on the golden tree, the
+/// variance-learning backends stay inside physical transmission bounds
+/// (first-moment is deliberately unclamped and may drift just past 1),
+/// and the first-moment baseline uses no Phase-1 rows at all.
+#[test]
+fn golden_backends_cross_invariants() {
+    let s = golden_summary();
+    assert_eq!(s["first-moment.rows_used"], 0.0);
+    assert!(s["zhu-mle.rows_used"] >= s["lia.rows_used"]);
+    for kind in EstimatorKind::all() {
+        let name = kind.name();
+        assert!(s[&format!("{name}.congested_count")] > 0.0, "{name} found nothing");
+        let mean = s[&format!("{name}.transmission_mean")];
+        if name == "first-moment" {
+            assert!((0.0..=1.05).contains(&mean), "first-moment mean {mean} far outside [0, 1]");
+        } else {
+            assert!((0.0..=1.0).contains(&mean), "{name} transmission mean {mean} outside [0, 1]");
+        }
+    }
+}
