@@ -10,13 +10,17 @@
 //!    buffers) vs an identical estimator reallocating everything per
 //!    refresh (`ScratchMode::AllocPerRefresh`, the historical
 //!    behaviour). Both ingest the same snapshots and are asserted
-//!    **bit-identical**; p50/p99 per-refresh latency and the p50
-//!    speedup are recorded (≥ 1.3× gated at paper scale).
+//!    **bit-identical**; p50/p99 per-refresh latency, the p50 speedup
+//!    (≥ 1.3× gated at paper scale, p99 < 3× p50), and the p50
+//!    per-phase breakdown (covariance / Phase 1 / Phase 2) of each
+//!    refresh are recorded.
 //! 2. **Fleet scaling**: a fleet of independent tree tenants driven
-//!    round-robin, drained with 1, 2, 4, … worker threads (the
-//!    `LOSSTOMO_THREADS`-style sweep, set per run via
-//!    `FleetConfig::workers`). Records tenants × snapshots/sec and the
-//!    speedup over the serial drain.
+//!    round-robin, drained with 1, 2, 4 and 8 worker threads (set per
+//!    run via `FleetConfig::workers`, capped by the tenant count).
+//!    Records tenants × snapshots/sec and the speedup over the serial
+//!    drain; worker counts beyond the host's cores are measured and
+//!    recorded as `oversubscribed`, and the ≥2× parallel-speedup gate
+//!    judges only genuinely parallel points.
 //!
 //! Flags: `--scale quick|paper`, `--out PATH`, `--tenants N`,
 //! `--snapshots M`.
@@ -58,6 +62,12 @@ struct RefreshReport {
     speedup_p50: f64,
     /// Reuse and alloc estimates agree bit-for-bit on every refresh.
     bitwise_identical: bool,
+    /// p50 of the covariance-assembly span of each reuse refresh, ms.
+    cov_p50_ms: f64,
+    /// p50 of the Phase-1 (variance estimation) span, ms.
+    phase1_p50_ms: f64,
+    /// p50 of the Phase-2 (column elimination + solve) span, ms.
+    phase2_p50_ms: f64,
 }
 
 /// One worker-count point of the throughput sweep.
@@ -68,6 +78,10 @@ struct ScalingPoint {
     snapshots_per_sec: f64,
     /// Throughput relative to the 1-worker drain.
     speedup_vs_serial: f64,
+    /// More workers than the host has cores — the point measures
+    /// scheduling overhead, not parallel speedup, and is exempt from
+    /// the scaling gate.
+    oversubscribed: bool,
 }
 
 /// The fleet throughput sweep.
@@ -76,12 +90,17 @@ struct ScalingReport {
     tenants: usize,
     nodes_per_tenant: usize,
     snapshots_per_tenant: usize,
+    /// Cores the host exposes (the thread policy's view) — worker
+    /// counts above this are recorded honestly as oversubscribed.
+    available_cores: usize,
     points: Vec<ScalingPoint>,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
 struct FleetBenchReport {
     meta: BenchMeta,
+    /// SIMD engine active for every estimator in this run.
+    simd_engine: String,
     refresh: RefreshReport,
     scaling: ScalingReport,
 }
@@ -149,6 +168,9 @@ fn refresh_comparison(scale: Scale) -> RefreshReport {
     losstomo_bench::rule(&header);
     let mut reuse_samples = Vec::new();
     let mut alloc_samples = Vec::new();
+    let mut cov_samples = Vec::new();
+    let mut p1_samples = Vec::new();
+    let mut p2_samples = Vec::new();
     let mut bitwise_identical = true;
     for (t, snap) in all.snapshots[warmup..].iter().enumerate() {
         reuse.ingest(snap).expect("ingest");
@@ -156,6 +178,12 @@ fn refresh_comparison(scale: Scale) -> RefreshReport {
         let t0 = Instant::now();
         reuse.refresh().expect("reuse refresh");
         let dt_reuse = t0.elapsed();
+        let spans = reuse
+            .last_refresh_timing()
+            .expect("successful refresh records its phase spans");
+        cov_samples.push(spans.covariance);
+        p1_samples.push(spans.phase1);
+        p2_samples.push(spans.phase2);
         let t0 = Instant::now();
         alloc.refresh().expect("alloc refresh");
         let dt_alloc = t0.elapsed();
@@ -175,11 +203,18 @@ fn refresh_comparison(scale: Scale) -> RefreshReport {
     let reuse_p99 = percentile_ms(&mut reuse_samples, 0.99);
     let alloc_p50 = percentile_ms(&mut alloc_samples, 0.5);
     let alloc_p99 = percentile_ms(&mut alloc_samples, 0.99);
+    let cov_p50 = percentile_ms(&mut cov_samples, 0.5);
+    let phase1_p50 = percentile_ms(&mut p1_samples, 0.5);
+    let phase2_p50 = percentile_ms(&mut p2_samples, 0.5);
     let speedup = alloc_p50 / reuse_p50.max(1e-9);
     println!();
     println!(
         "per-refresh p50: reuse {reuse_p50:.2}ms vs alloc {alloc_p50:.2}ms ({speedup:.2}x), \
          p99 {reuse_p99:.2}ms vs {alloc_p99:.2}ms"
+    );
+    println!(
+        "refresh breakdown p50: covariance {cov_p50:.2}ms, phase 1 {phase1_p50:.2}ms, \
+         phase 2 {phase2_p50:.2}ms"
     );
     assert!(
         bitwise_identical,
@@ -215,6 +250,9 @@ fn refresh_comparison(scale: Scale) -> RefreshReport {
         alloc_p99_ms: alloc_p99,
         speedup_p50: speedup,
         bitwise_identical,
+        cov_p50_ms: cov_p50,
+        phase1_p50_ms: phase1_p50,
+        phase2_p50_ms: phase2_p50,
     }
 }
 
@@ -319,19 +357,19 @@ fn scaling_sweep(scale: Scale) -> ScalingReport {
     );
     let (topologies, feeds) = tenant_fleet(n_tenants, nodes, snapshots);
 
-    // Worker sweep: 1, 2, 4, … up to the thread policy (and tenant count).
-    let max_workers = losstomo_linalg::parallel::num_threads().min(n_tenants);
-    let mut sweep = vec![1usize];
-    while *sweep.last().expect("nonempty") * 2 <= max_workers {
-        sweep.push(sweep.last().expect("nonempty") * 2);
-    }
-    if *sweep.last().expect("nonempty") != max_workers {
-        sweep.push(max_workers);
-    }
+    // Fixed worker sweep 1, 2, 4, 8 (capped by the tenant count): the
+    // full curve is always measured and recorded, with points beyond
+    // the host's cores flagged oversubscribed rather than skipped —
+    // a 1-core CI runner still produces the whole curve honestly.
+    let available_cores = losstomo_linalg::parallel::num_threads();
+    let sweep: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&w| w <= n_tenants)
+        .collect();
 
     let header = format!(
-        "{:>8} {:>12} {:>16} {:>9}",
-        "workers", "wall", "snapshots/sec", "speedup"
+        "{:>8} {:>12} {:>16} {:>9} {:>8}",
+        "workers", "wall", "snapshots/sec", "speedup", "oversub"
     );
     println!("{header}");
     losstomo_bench::rule(&header);
@@ -345,30 +383,43 @@ fn scaling_sweep(scale: Scale) -> ScalingReport {
             serial_rate = rate;
         }
         let speedup = rate / serial_rate.max(1e-9);
+        let oversubscribed = workers > available_cores;
         println!(
-            "{:>8} {:>10.0}ms {:>16.0} {:>8.2}x",
+            "{:>8} {:>10.0}ms {:>16.0} {:>8.2}x {:>8}",
             workers,
             ms(wall),
             rate,
-            speedup
+            speedup,
+            if oversubscribed { "yes" } else { "no" }
         );
         points.push(ScalingPoint {
             workers,
             wall_ms: ms(wall),
             snapshots_per_sec: rate,
             speedup_vs_serial: speedup,
+            oversubscribed,
         });
     }
     if scale == Scale::Paper {
-        let best = points
-            .iter()
-            .map(|p| p.speedup_vs_serial)
-            .fold(0.0_f64, f64::max);
-        let max_workers = points.last().expect("nonempty sweep").workers;
-        if max_workers >= 4 {
+        // The parallel-speedup gate judges only worker counts the host
+        // can actually run in parallel; oversubscribed points are
+        // recorded but cannot fail (or vacuously pass) the gate.
+        let parallel_points: Vec<&ScalingPoint> =
+            points.iter().filter(|p| !p.oversubscribed).collect();
+        let max_parallel = parallel_points.iter().map(|p| p.workers).max().unwrap_or(1);
+        if max_parallel >= 4 {
+            let best = parallel_points
+                .iter()
+                .map(|p| p.speedup_vs_serial)
+                .fold(0.0_f64, f64::max);
             assert!(
                 best >= 2.0,
-                "fleet throughput must scale ≥2x with {max_workers} workers, got {best:.2}x"
+                "fleet throughput must scale ≥2x with {max_parallel} workers, got {best:.2}x"
+            );
+        } else {
+            println!(
+                "scaling gate skipped: host exposes {available_cores} core(s), \
+                 parallel speedup is unmeasurable"
             );
         }
     }
@@ -376,6 +427,7 @@ fn scaling_sweep(scale: Scale) -> ScalingReport {
         tenants: n_tenants,
         nodes_per_tenant: nodes,
         snapshots_per_tenant: snapshots,
+        available_cores,
         points,
     }
 }
@@ -392,6 +444,7 @@ fn main() {
     let scaling = scaling_sweep(scale);
     let report = FleetBenchReport {
         meta: bench_meta("fleet_scale", scale),
+        simd_engine: losstomo_linalg::simd::active().name().to_string(),
         refresh,
         scaling,
     };

@@ -26,6 +26,7 @@
 //! shrinks proportionally — see `scale_pairs` in the bench crate for
 //! the measured effect.
 
+use losstomo_linalg::simd::{self, Engine};
 use losstomo_netsim::MeasurementSet;
 
 /// Centred snapshot data, ready to produce covariance entries on demand.
@@ -208,6 +209,9 @@ impl CenteredMeasurements {
         n_threads: usize,
         out: &mut Vec<f64>,
     ) {
+        // The engine is resolved once per sweep (not per pair) and
+        // shared by every worker thread.
+        let engine = simd::active();
         out.clear();
         out.resize(pairs.len(), 0.0);
         if pairs.is_empty() {
@@ -217,16 +221,30 @@ impl CenteredMeasurements {
             .max(1)
             .min(pairs.len().div_ceil(MIN_PAIRS_PER_THREAD));
         if threads <= 1 {
-            self.pair_cov_block(pairs, out);
+            self.pair_cov_block(pairs, out, engine);
             return;
         }
         let chunk = pairs.len().div_ceil(threads);
         crossbeam::scope(|scope| {
             for (pair_chunk, out_chunk) in pairs.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                scope.spawn(move |_| self.pair_cov_block(pair_chunk, out_chunk));
+                scope.spawn(move |_| self.pair_cov_block(pair_chunk, out_chunk, engine));
             }
         })
         .expect("covariance worker panicked");
+    }
+
+    /// [`CenteredMeasurements::pair_covariances`] under an explicit
+    /// SIMD engine, serial (the engine is the variable under test —
+    /// used by the SIMD equivalence suites and the `scale_simd` bench).
+    /// Non-FMA engines are bit-identical.
+    pub fn pair_covariances_with_engine(
+        &self,
+        pairs: &[(usize, usize)],
+        engine: Engine,
+    ) -> Vec<f64> {
+        let mut out = vec![0.0; pairs.len()];
+        self.pair_cov_block(pairs, &mut out, engine);
+        out
     }
 
     /// Computes one block of pair covariances into `out`.
@@ -236,10 +254,12 @@ impl CenteredMeasurements {
     /// latency that bounds a single running dot product. Each entry
     /// still accumulates over snapshots in ascending order into its own
     /// accumulator, which is what makes the result independent of the
-    /// grouping (and of the thread count in the caller).
-    fn pair_cov_block(&self, pairs: &[(usize, usize)], out: &mut [f64]) {
+    /// grouping (and of the thread count in the caller). Under an AVX2
+    /// engine the four chains become the four lanes of
+    /// [`simd::pair_cov4`] — same chains, same order, bit-identical
+    /// without FMA.
+    fn pair_cov_block(&self, pairs: &[(usize, usize)], out: &mut [f64], engine: Engine) {
         let denom = (self.snapshots - 1) as f64;
-        let m = self.snapshots;
         let mut q = 0;
         // Four pairs per iteration of one shared snapshot loop: four
         // independent accumulator chains advance together, so the adds
@@ -253,17 +273,17 @@ impl CenteredMeasurements {
             let b2 = self.dev_row(pairs[q + 2].1);
             let a3 = self.dev_row(pairs[q + 3].0);
             let b3 = self.dev_row(pairs[q + 3].1);
-            let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-            for l in 0..m {
-                s0 += a0[l] * b0[l];
-                s1 += a1[l] * b1[l];
-                s2 += a2[l] * b2[l];
-                s3 += a3[l] * b3[l];
-            }
-            out[q] = s0 / denom;
-            out[q + 1] = s1 / denom;
-            out[q + 2] = s2 / denom;
-            out[q + 3] = s3 / denom;
+            let s = match engine {
+                Engine::Avx2 { fma } => {
+                    simd::pair_cov4(a0, b0, a1, b1, a2, b2, a3, b3, fma)
+                        .unwrap_or_else(|| scalar4(a0, b0, a1, b1, a2, b2, a3, b3))
+                }
+                Engine::Scalar => scalar4(a0, b0, a1, b1, a2, b2, a3, b3),
+            };
+            out[q] = s[0] / denom;
+            out[q + 1] = s[1] / denom;
+            out[q + 2] = s[2] / denom;
+            out[q + 3] = s[3] / denom;
             q += 4;
         }
         for q in q..pairs.len() {
@@ -287,6 +307,32 @@ impl CenteredMeasurements {
         }
         cov
     }
+}
+
+/// The scalar four-chain dot kernel (fallback and oracle of
+/// [`simd::pair_cov4`]): one shared snapshot loop advancing four
+/// independent ascending-order accumulators.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn scalar4(
+    a0: &[f64],
+    b0: &[f64],
+    a1: &[f64],
+    b1: &[f64],
+    a2: &[f64],
+    b2: &[f64],
+    a3: &[f64],
+    b3: &[f64],
+) -> [f64; 4] {
+    let m = a0.len();
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for l in 0..m {
+        s0 += a0[l] * b0[l];
+        s1 += a1[l] * b1[l];
+        s2 += a2[l] * b2[l];
+        s3 += a3[l] * b3[l];
+    }
+    [s0, s1, s2, s3]
 }
 
 /// Dot product of two equal-length slices, accumulating in ascending
@@ -387,6 +433,39 @@ mod tests {
         for threads in [2, 3, 8] {
             let parallel = c.pair_covariances_with_threads(&pairs, threads);
             assert_eq!(serial, parallel, "{threads} threads drifted");
+        }
+    }
+
+    #[test]
+    fn engines_are_bit_identical_on_pair_batches() {
+        // Odd path count and odd snapshot count, so the engine path
+        // exercises both the 4-pair batches and the tail pairs, and the
+        // kernel's m % 4 scalar continuation.
+        let m = 23;
+        let n = 17;
+        let rows: Vec<Vec<f64>> = (0..m)
+            .map(|l| {
+                (0..n)
+                    .map(|i| (((l * 29 + i * 13 + 7) % 101) as f64) / 10.1 - 5.0)
+                    .collect()
+            })
+            .collect();
+        let c = CenteredMeasurements::from_rows(rows);
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| (i..n).map(move |j| (i, j)))
+            .collect();
+        let reference = c.pair_covariances(&pairs);
+        let scalar = c.pair_covariances_with_engine(&pairs, Engine::Scalar);
+        assert_eq!(reference, scalar, "scalar engine drifted from default entry point");
+        if Engine::avx2_available() {
+            // The covariance kernel has no contraction opportunity, so
+            // even the FMA engine must match bitwise.
+            for engine in [Engine::Avx2 { fma: false }, Engine::Avx2 { fma: true }] {
+                let vector = c.pair_covariances_with_engine(&pairs, engine);
+                let sb: Vec<u64> = scalar.iter().map(|v| v.to_bits()).collect();
+                let vb: Vec<u64> = vector.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(sb, vb, "{engine:?} drifted from scalar");
+            }
         }
     }
 

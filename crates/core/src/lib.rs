@@ -88,8 +88,8 @@ pub use lia::{
 pub use metrics::{location_accuracy, LocationAccuracy, RateErrors, Summary};
 pub use scfs::{scfs_diagnose, ScfsConfig};
 pub use streaming::{
-    ChurnReport, FactorRefresh, OnlineConfig, OnlineEstimator, OnlineUpdate, ScratchMode,
-    Staleness, StreamingCovariance, WindowMode,
+    ChurnReport, FactorRefresh, OnlineConfig, OnlineEstimator, OnlineUpdate, RefreshTiming,
+    ScratchMode, Staleness, StreamingCovariance, WindowMode,
 };
 pub use validate::{cross_validate, CrossValidationConfig, CrossValidationResult};
 pub use variance::{

@@ -68,6 +68,7 @@ use losstomo_linalg::{
 use losstomo_netsim::Snapshot;
 use losstomo_topology::{ChurnError, DeltaEffect, PathId, ReducedTopology, TopologyDelta};
 use std::collections::VecDeque;
+use std::time::{Duration, Instant};
 
 /// Default sliding-window recentre cadence, in evictions: frequent
 /// enough that reverse-Welford rounding stays far below any tolerance
@@ -758,6 +759,23 @@ pub struct OnlineUpdate {
     pub cleared: Vec<usize>,
 }
 
+/// Wall-clock breakdown of the last successful refresh, by phase —
+/// what makes a tail-latency spike attributable: a covariance spike
+/// points at the window replay, a Phase-1 spike at the moment-system
+/// solve (e.g. a Givens fallback refactorisation), a Phase-2 spike at
+/// a column-selection or factorisation rebuild.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RefreshTiming {
+    /// Covariance assembly: window replay / Welford read-out into the
+    /// sigma buffer.
+    pub covariance: Duration,
+    /// Phase 1: the moment-system solve for the link variances.
+    pub phase1: Duration,
+    /// Phase 2: variance ordering, column selection, and `R*`
+    /// (re)factorisation.
+    pub phase2: Duration,
+}
+
 /// The streaming two-phase estimator: ingest snapshots one at a time,
 /// read back per-link loss rates and congested-set changes.
 ///
@@ -798,6 +816,8 @@ pub struct OnlineEstimator {
     congested: Vec<usize>,
     since_refresh: usize,
     refreshes: u64,
+    /// Phase breakdown of the last successful refresh.
+    last_timing: Option<RefreshTiming>,
     warmup_error: Option<LinalgError>,
     /// Refresh workspace (dropped and rebuilt every refresh under
     /// [`ScratchMode::AllocPerRefresh`]).
@@ -927,6 +947,7 @@ impl OnlineEstimator {
             congested: Vec::new(),
             since_refresh: 0,
             refreshes: 0,
+            last_timing: None,
             warmup_error: None,
             scratch: RefreshScratch::default(),
         }
@@ -953,6 +974,14 @@ impl OnlineEstimator {
     /// The latest Phase-1 estimate, if any refresh has succeeded.
     pub fn variances(&self) -> Option<&VarianceEstimate> {
         self.variances.as_ref()
+    }
+
+    /// Phase breakdown of the last successful refresh (covariance
+    /// assembly / Phase-1 solve / Phase-2 re-memoization), for
+    /// attributing tail-latency spikes. `None` until a refresh
+    /// succeeds.
+    pub fn last_refresh_timing(&self) -> Option<RefreshTiming> {
+        self.last_timing
     }
 
     /// Links currently diagnosed congested (ascending).
@@ -1078,6 +1107,7 @@ impl OnlineEstimator {
         // for the duration of the solve (the borrow checker cannot see
         // that the Phase-1/Phase-2 body never touches it) and moved
         // back before returning.
+        let cov_start = Instant::now();
         let mut sigmas = std::mem::take(&mut self.scratch.sigmas);
         match self.cfg.window {
             WindowMode::Exponential(_) => self.cov.covariances_into(&mut sigmas),
@@ -1100,13 +1130,21 @@ impl OnlineEstimator {
                     .grouped_exact_covariances_into(&mut self.scratch.centered, &mut sigmas);
             }
         }
-        let result = self.refresh_from_sigmas_inner(&sigmas);
+        let covariance = cov_start.elapsed();
+        let result = self.refresh_from_sigmas_inner(&sigmas, covariance);
         self.scratch.sigmas = sigmas;
         result
     }
 
     /// The Phase-1 solve + Phase-2 re-memoization half of a refresh.
-    fn refresh_from_sigmas_inner(&mut self, sigmas: &[f64]) -> Result<(), LinalgError> {
+    /// `covariance` is the wall the caller already spent assembling the
+    /// sigma buffer, folded into the recorded [`RefreshTiming`].
+    fn refresh_from_sigmas_inner(
+        &mut self,
+        sigmas: &[f64],
+        covariance: Duration,
+    ) -> Result<(), LinalgError> {
+        let phase1_start = Instant::now();
         let est = match (self.cfg.variance.backend, self.cfg.factor) {
             (LstsqBackend::NormalEquations, FactorRefresh::Exact) => {
                 let mut phase1 = std::mem::take(&mut self.scratch.phase1);
@@ -1129,6 +1167,8 @@ impl OnlineEstimator {
                 estimate_variances_from_sigmas(&self.red, &self.aug, sigmas, &self.cfg.variance)?
             }
         };
+        let phase1 = phase1_start.elapsed();
+        let phase2_start = Instant::now();
         // Phase-2 structure: the kept set is a pure function of the
         // variance order, so an unchanged order skips the column
         // selection entirely; a changed order re-certifies the previous
@@ -1157,6 +1197,11 @@ impl OnlineEstimator {
             self.order = order;
         }
         self.variances = Some(est);
+        self.last_timing = Some(RefreshTiming {
+            covariance,
+            phase1,
+            phase2: phase2_start.elapsed(),
+        });
         self.warmup_error = None;
         self.since_refresh = 0;
         self.refreshes += 1;

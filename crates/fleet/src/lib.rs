@@ -41,6 +41,7 @@
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use losstomo_core::budget::PairBudget;
 use losstomo_core::streaming::{OnlineConfig, OnlineEstimator};
+use losstomo_linalg::SimdPolicy;
 use losstomo_netsim::Snapshot;
 use losstomo_topology::{ReducedTopology, TopologyDelta};
 use std::fmt;
@@ -81,6 +82,13 @@ pub struct FleetConfig {
     /// is itself [`PairBudget::Env`], so with nothing configured the
     /// `LOSSTOMO_PAIR_BUDGET` knob decides (full when unset).
     pub pair_budget: PairBudget,
+    /// SIMD policy installed for the whole process when the fleet is
+    /// created. The default ([`SimdPolicy::Env`]) defers to the
+    /// `LOSSTOMO_SIMD` knob (auto-detect when unset). The resolved
+    /// engine is process-wide and first-caller-wins — read it back via
+    /// [`Fleet::simd_engine`]; numerical results are engine-independent
+    /// under every non-FMA policy (bit-identical kernels).
+    pub simd: SimdPolicy,
 }
 
 impl Default for FleetConfig {
@@ -89,6 +97,7 @@ impl Default for FleetConfig {
             queue_capacity: 64,
             workers: None,
             pair_budget: PairBudget::default(),
+            simd: SimdPolicy::default(),
         }
     }
 }
@@ -358,8 +367,10 @@ pub struct Fleet {
 }
 
 impl Fleet {
-    /// Creates an empty fleet.
+    /// Creates an empty fleet and installs its SIMD policy (first
+    /// caller wins process-wide; see [`FleetConfig::simd`]).
     pub fn new(cfg: FleetConfig) -> Self {
+        losstomo_linalg::simd::install(cfg.simd);
         Fleet {
             cfg,
             tenants: Vec::new(),
@@ -407,6 +418,13 @@ impl Fleet {
             .workers
             .unwrap_or_else(losstomo_linalg::parallel::num_threads)
             .clamp(1, self.tenants.len().max(1))
+    }
+
+    /// The SIMD engine actually active for this process (the resolution
+    /// of [`FleetConfig::simd`], or of whichever policy was installed
+    /// first).
+    pub fn simd_engine(&self) -> losstomo_linalg::Engine {
+        losstomo_linalg::simd::active()
     }
 
     /// The tenant's registration name.

@@ -20,6 +20,7 @@
 //! property tests in `tests/properties.rs`.
 
 use crate::matrix::Matrix;
+use crate::simd::{self, Engine};
 
 /// Column-tile width of the blocked kernels: a `TILE × TILE` `f64` tile
 /// is 32 KiB, half a typical L1d cache.
@@ -34,10 +35,30 @@ pub const MR: usize = 4;
 /// setup costs more than the cache misses it saves).
 pub(crate) const DISPATCH_MIN_DIM: usize = 96;
 
-/// Blocked matrix product `A B`; caller guarantees `a.cols() == b.rows()`.
-///
-/// Bit-identical to [`Matrix::matmul_reference`] for finite inputs.
+/// Blocked matrix product `A B` under the process-wide SIMD engine;
+/// caller guarantees `a.cols() == b.rows()`.
 pub(crate) fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    matmul_with(a, b, simd::active())
+}
+
+/// Blocked matrix product `A B` under an explicit engine; caller
+/// guarantees `a.cols() == b.rows()`.
+///
+/// Bit-identical to [`Matrix::matmul_reference`] for finite inputs
+/// under [`Engine::Scalar`] and the non-FMA [`Engine::Avx2`]; the
+/// opt-in FMA engine matches to ~1e-12 relative instead.
+pub fn matmul_with(a: &Matrix, b: &Matrix, engine: Engine) -> Matrix {
+    if let Engine::Avx2 { fma } = engine {
+        if let Some(c) = simd::matmul_avx2(a, b, fma) {
+            return c;
+        }
+    }
+    matmul_scalar(a, b)
+}
+
+/// The scalar reference micro-panel kernel (fallback and proptest
+/// oracle for the SIMD path).
+fn matmul_scalar(a: &Matrix, b: &Matrix) -> Matrix {
     let (m, kdim) = a.shape();
     let n = b.cols();
     debug_assert_eq!(kdim, b.rows());
@@ -74,12 +95,28 @@ pub(crate) fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     c
 }
 
-/// Blocked Gram product `AᵀA`, exploiting symmetry (upper triangle
-/// computed, lower mirrored).
-///
-/// Bit-identical to [`Matrix::gram_reference`] for finite inputs: both
-/// accumulate each entry over the rows of `A` in ascending order.
+/// Blocked Gram product `AᵀA` under the process-wide SIMD engine.
 pub(crate) fn gram(a: &Matrix) -> Matrix {
+    gram_with(a, simd::active())
+}
+
+/// Blocked Gram product `AᵀA` under an explicit engine, exploiting
+/// symmetry (upper triangle computed, lower mirrored).
+///
+/// Bit-identical to [`Matrix::gram_reference`] for finite inputs under
+/// [`Engine::Scalar`] and the non-FMA [`Engine::Avx2`]: every entry
+/// accumulates over the rows of `A` in ascending order in both.
+pub fn gram_with(a: &Matrix, engine: Engine) -> Matrix {
+    if let Engine::Avx2 { fma } = engine {
+        if let Some(g) = simd::gram_avx2(a, fma) {
+            return g;
+        }
+    }
+    gram_scalar(a)
+}
+
+/// The scalar reference Gram kernel (fallback and proptest oracle).
+fn gram_scalar(a: &Matrix) -> Matrix {
     let (m, n) = a.shape();
     let mut g = Matrix::zeros(n, n);
     let a_data = a.as_slice();
@@ -134,37 +171,62 @@ pub(crate) fn gram(a: &Matrix) -> Matrix {
 /// (ascending `k`, one accumulator), so the result does not depend on
 /// tile traversal order — the update is deterministic for a given panel
 /// schedule regardless of how tiles are iterated.
-pub(crate) fn cholesky_trailing_update(
+///
+/// The packing and zero-block occupancy flags are shared between the
+/// scalar and SIMD sweeps, so block skipping is identical under every
+/// engine; bit-identity of the non-FMA engines follows from the
+/// per-cell ascending-`k` accumulation both sweeps perform.
+pub fn cholesky_trailing_update_with(
     l: &mut [f64],
     n: usize,
     p: usize,
     pb: usize,
     scratch: &mut Vec<f64>,
+    engine: Engine,
 ) {
     let start = p + pb;
     let nr = n - start;
     if nr == 0 {
         return;
     }
-    // Pack the trailing panel once per step, BLIS-style: the trailing
-    // rows are grouped in blocks of MR, and each block is stored
-    // k-major — `pack[blk * pb*MR + k*MR + r]` is the panel entry of
-    // trailing row `start + blk*MR + r`, panel column `p + k`. The
-    // micro-kernel below then streams two perfectly sequential
-    // 4-vectors per multiply step. The tail block is zero-padded;
-    // padded lanes only ever feed accumulators whose results are
-    // discarded at write-back.
+    let nonzero = pack_trailing_panel(l, n, p, pb, start, nr, scratch);
+    let pack = &scratch[..];
+    if let Engine::Avx2 { fma } = engine {
+        if simd::trailing_avx2(l, n, start, nr, pb, pack, &nonzero, fma) {
+            return;
+        }
+    }
+    trailing_sweep_scalar(l, n, start, nr, pb, pack, &nonzero);
+}
+
+/// Packs the trailing panel once per step, BLIS-style: the trailing
+/// rows are grouped in blocks of [`MR`], and each block is stored
+/// k-major — `pack[blk * pb*MR + k*MR + r]` is the panel entry of
+/// trailing row `start + blk*MR + r`, panel column `p + k`. The
+/// micro-kernels then stream two perfectly sequential 4-vectors per
+/// multiply step. The tail block is zero-padded; padded lanes only
+/// ever feed accumulators whose results are discarded at write-back.
+///
+/// Returns per-block occupancy flags: a block whose panel rows are all
+/// zero contributes exactly zero to every dot product it appears in,
+/// so the sweeps skip such pairs outright. Phase-1 normal equations
+/// over tree-like topologies are extremely sparse (only links on a
+/// common root path co-occur) and their factors inherit much of that
+/// sparsity, so this turns most block pairs into no-ops; on dense
+/// factors the flags cost one comparison per pack entry.
+pub(crate) fn pack_trailing_panel(
+    l: &[f64],
+    n: usize,
+    p: usize,
+    pb: usize,
+    start: usize,
+    nr: usize,
+    scratch: &mut Vec<f64>,
+) -> Vec<bool> {
     let nblk = nr.div_ceil(MR);
     let blk_len = pb * MR;
     scratch.clear();
     scratch.resize(nblk * blk_len, 0.0);
-    // Per-block occupancy: a block whose panel rows are all zero
-    // contributes exactly zero to every dot product it appears in, so
-    // the kernel skips such pairs outright. Phase-1 normal equations
-    // over tree-like topologies are extremely sparse (only links on a
-    // common root path co-occur) and their factors inherit much of that
-    // sparsity, so this turns most block pairs into no-ops; on dense
-    // factors the flags cost one comparison per pack entry.
     let mut nonzero = vec![false; nblk];
     for blk in 0..nblk {
         let rows = MR.min(nr - blk * MR);
@@ -179,8 +241,22 @@ pub(crate) fn cholesky_trailing_update(
         }
         nonzero[blk] = any;
     }
-    let pack = &scratch[..];
+    nonzero
+}
 
+/// The scalar reference trailing sweep over a pre-packed panel
+/// (fallback and proptest oracle for [`crate::simd`]'s sweep).
+fn trailing_sweep_scalar(
+    l: &mut [f64],
+    n: usize,
+    start: usize,
+    nr: usize,
+    pb: usize,
+    pack: &[f64],
+    nonzero: &[bool],
+) {
+    let nblk = nr.div_ceil(MR);
+    let blk_len = pb * MR;
     for bi in 0..nblk {
         if !nonzero[bi] {
             continue;

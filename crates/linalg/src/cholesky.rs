@@ -7,6 +7,7 @@
 
 use crate::error::LinalgError;
 use crate::matrix::Matrix;
+use crate::simd::{self, Engine};
 use crate::triangular::{solve_lower_transposed, solve_lower_triangular};
 use crate::Result;
 
@@ -57,6 +58,14 @@ impl Cholesky {
     /// On error the stored factor is invalid and must not be used for
     /// solves until a subsequent `factor_into` succeeds.
     pub fn factor_into(&mut self, a: &Matrix) -> Result<()> {
+        self.factor_into_with(a, simd::active())
+    }
+
+    /// [`Cholesky::factor_into`] under an explicit SIMD engine for the
+    /// blocked trailing update (the diagonal-block factorisation and
+    /// panel solve stay scalar — they carry a negligible share of the
+    /// flops). Non-FMA engines produce bit-identical factors.
+    pub fn factor_into_with(&mut self, a: &Matrix, engine: Engine) -> Result<()> {
         let (m, n) = a.shape();
         if m != n {
             return Err(LinalgError::DimensionMismatch(format!(
@@ -70,7 +79,7 @@ impl Cholesky {
         if n <= BLOCK_DISPATCH_MIN {
             factor_unblocked(a, &mut self.l)
         } else {
-            factor_blocked(a, &mut self.l, &mut self.blocked_scratch)
+            factor_blocked(a, &mut self.l, &mut self.blocked_scratch, engine)
         }
     }
 
@@ -152,7 +161,12 @@ fn factor_unblocked(a: &Matrix, l: &mut Matrix) -> Result<()> {
 /// of the unblocked version's full-length strided history dots.
 /// Writes into a pre-zeroed `n × n` factor buffer; `scratch` is the
 /// reusable trailing-update workspace.
-fn factor_blocked(a: &Matrix, l: &mut Matrix, scratch: &mut Vec<f64>) -> Result<()> {
+fn factor_blocked(
+    a: &Matrix,
+    l: &mut Matrix,
+    scratch: &mut Vec<f64>,
+    engine: Engine,
+) -> Result<()> {
     let n = a.rows();
     let tol = pivot_tolerance(a);
     for i in 0..n {
@@ -234,7 +248,7 @@ fn factor_blocked(a: &Matrix, l: &mut Matrix, scratch: &mut Vec<f64>) -> Result<
             }
         }
         // 3. Trailing update `C -= P Pᵀ`.
-        crate::blocked::cholesky_trailing_update(ld, n, p, pb, scratch);
+        crate::blocked::cholesky_trailing_update_with(ld, n, p, pb, scratch, engine);
         p += pb;
     }
     Ok(())

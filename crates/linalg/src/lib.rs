@@ -19,10 +19,14 @@
 //! Everything is implemented from scratch on top of a row-major dense
 //! [`Matrix`] and a CSR [`sparse::CsrMatrix`]; no external linear-algebra
 //! crates are used. The implementations favour clarity and robustness over
-//! micro-optimisation, in the spirit of the networking-Rust guides: no
-//! unsafe code, no macro tricks, extensive documentation and tests.
+//! micro-optimisation: no macro tricks, extensive documentation and tests.
+//! The single exception to the crate-wide `unsafe` ban is the [`simd`]
+//! module, which wraps `std::arch` AVX2 intrinsics behind runtime feature
+//! detection — see its docs for the dispatch policy and the
+//! bit-exactness contract that keeps the SIMD kernels interchangeable
+//! with the scalar reference loops.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod blocked;
@@ -36,6 +40,8 @@ pub mod parallel;
 pub mod pivoted_qr;
 pub mod qr;
 pub mod rank;
+#[allow(unsafe_code)]
+pub mod simd;
 pub mod sparse;
 pub mod sparse_qr;
 pub mod triangular;
@@ -48,8 +54,9 @@ pub use matrix::Matrix;
 pub use pivoted_qr::PivotedQr;
 pub use qr::Qr;
 pub use rank::{rank, rank_with_tol, DEFAULT_RANK_TOL};
+pub use simd::{Engine, SimdPolicy};
 pub use sparse::CsrMatrix;
-pub use sparse_qr::{row_basis, SparseQr};
+pub use sparse_qr::{row_basis, row_basis_with, SparseQr};
 
 /// Convenience result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,1024 @@
+//! Explicit SIMD microkernels with portable runtime dispatch.
+//!
+//! The numeric hot path of the whole workspace funnels into four scalar
+//! kernels: the blocked matmul/gram micro-panels ([`crate::blocked`]),
+//! the packed 4×4 Cholesky trailing kernel ([`crate::cholesky`]), the
+//! four interleaved accumulator chains of the covariance pair sweep
+//! (`losstomo-core`), and the Givens rotation spans of the sparse QR
+//! ([`crate::sparse_qr`]). This module provides AVX2 implementations of
+//! those kernels behind **runtime CPU-feature detection**
+//! (`is_x86_feature_detected!`), so one release artifact runs on any
+//! x86-64 — the `.cargo/config.toml` `target-cpu=native` reliance this
+//! replaces produced binaries that crashed on older hardware.
+//!
+//! # Lane mapping preserves bit-exactness
+//!
+//! Every kernel vectorises **across independent outputs, never within
+//! an accumulator chain**:
+//!
+//! * matmul/gram — lanes are cells of the output micro-panel; each cell
+//!   keeps its single accumulator summing ascending inner index,
+//! * Cholesky trailing — lanes are the 4 columns of the 4×4 packed
+//!   kernel; each of the 16 cells keeps its ascending-`k` chain,
+//! * covariance — lanes are the 4 interleaved pair chains; products are
+//!   formed snapshot-contiguous and one 4×4 transpose feeds them to the
+//!   chains in ascending snapshot order,
+//! * sparse QR — lanes are columns of the merged rotation span; each
+//!   column's `c·r + s·w` / `c·w − s·r` is one mul-mul-add(sub) just
+//!   like the scalar expression. (Measurement: the rotation is bound by
+//!   the support merge, so production dispatch keeps the single-pass
+//!   scalar path — see `ROTATE_SPAN_MIN` in `sparse_qr` — and the
+//!   vector path stays test-pinned.)
+//!
+//! Since `vmulpd`/`vaddpd` are IEEE-754 exact per lane (identical to
+//! the scalar `mulsd`/`addsd`), each scalar result's operation sequence
+//! is unchanged and results are **bit-identical** to the reference
+//! loops — NaNs and infinities included, with one caveat: when two
+//! *distinct* NaNs meet in an add, IEEE-754 leaves the surviving
+//! payload unspecified (and LLVM may commute scalar operands), so the
+//! pinned property compares NaN *placement*, not payload bits. That is
+//! a *tested* contract
+//! (`crates/linalg/tests/simd_properties.rs`), and it is why the golden
+//! fixtures cannot tell the engines apart. The only exception is the
+//! opt-in [`SimdPolicy::Avx2Fma`] engine, which contracts `a*b + acc`
+//! into fused multiply-adds: faster and *more* accurate per element,
+//! but no longer bit-equal — its users accept 1e-12-tolerance
+//! comparisons instead.
+//!
+//! # Policy and dispatch flow
+//!
+//! ```text
+//! LOSSTOMO_SIMD ─┐
+//! FleetConfig ───┴→ SimdPolicy → resolve() → Engine (OnceLock, first caller wins)
+//!                                               │
+//!        blocked::matmul/gram ──────────────────┤ per-call `active()`
+//!        cholesky trailing update ──────────────┤ (one branch per kernel
+//!        covariance pair sweep (core) ──────────┤  invocation, hoisted out
+//!        sparse_qr rotations ───────────────────┘  of all inner loops)
+//! ```
+//!
+//! The scalar loops remain compiled unconditionally — they are the
+//! fallback on non-AVX2 hardware, the `LOSSTOMO_SIMD=scalar` forced
+//! path, and the property-test oracle the SIMD kernels are pinned
+//! against.
+//!
+//! This module is the crate's single `unsafe` island (the crate is
+//! otherwise `#![deny(unsafe_code)]`): `std::arch` intrinsics are
+//! unsafe to call, and every call sits behind a wrapper that has
+//! verified the CPU feature at runtime.
+
+use crate::matrix::Matrix;
+use std::sync::OnceLock;
+
+/// User-facing SIMD policy, selected via [`SimdPolicy::Env`] (the
+/// `LOSSTOMO_SIMD` environment knob) or programmatically (e.g.
+/// `FleetConfig::simd`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimdPolicy {
+    /// Defer to the `LOSSTOMO_SIMD` environment variable
+    /// (`auto` | `avx2` | `avx2fma` | `scalar`; unset or unparseable →
+    /// [`SimdPolicy::Auto`]). The default everywhere, mirroring
+    /// `PairBudget::Env`.
+    #[default]
+    Env,
+    /// Use the best *bit-exact* engine the CPU supports (AVX2 when
+    /// detected, scalar otherwise). Never selects FMA.
+    Auto,
+    /// Request AVX2 explicitly; falls back to scalar when the CPU
+    /// lacks it (the request is a preference, not an assertion).
+    Avx2,
+    /// Opt into AVX2 **with FMA contraction**: fastest, per-element
+    /// more accurate, but not bit-identical to the scalar reference —
+    /// results match to ~1e-12 relative instead. Falls back to plain
+    /// AVX2, then scalar, as features are missing.
+    Avx2Fma,
+    /// Force the scalar reference loops (also the only engine on
+    /// non-x86-64 targets).
+    Scalar,
+}
+
+impl SimdPolicy {
+    /// Parses a policy name as accepted by `LOSSTOMO_SIMD`. Unknown
+    /// names map to [`SimdPolicy::Auto`] (the knob degrades safely).
+    pub fn parse(s: &str) -> SimdPolicy {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => SimdPolicy::Scalar,
+            "avx2" => SimdPolicy::Avx2,
+            "avx2fma" | "avx2+fma" | "fma" => SimdPolicy::Avx2Fma,
+            _ => SimdPolicy::Auto,
+        }
+    }
+
+    /// The policy named by `LOSSTOMO_SIMD` (unset → [`SimdPolicy::Auto`]).
+    pub fn from_env() -> SimdPolicy {
+        match std::env::var("LOSSTOMO_SIMD") {
+            Ok(v) => SimdPolicy::parse(&v),
+            Err(_) => SimdPolicy::Auto,
+        }
+    }
+}
+
+/// The resolved compute engine every kernel dispatches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The reference scalar loops.
+    Scalar,
+    /// AVX2 256-bit lanes; `fma` additionally contracts `a*b + acc`
+    /// (opt-in, tolerance-equal rather than bit-equal).
+    Avx2 {
+        /// Whether fused multiply-add contraction is enabled.
+        fma: bool,
+    },
+}
+
+impl Engine {
+    /// Short engine name for reports and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Scalar => "scalar",
+            Engine::Avx2 { fma: false } => "avx2",
+            Engine::Avx2 { fma: true } => "avx2+fma",
+        }
+    }
+
+    /// Whether this host can run the AVX2 kernels.
+    pub fn avx2_available() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
+    /// Whether this host can additionally contract with FMA.
+    pub fn fma_available() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+}
+
+/// Resolves a policy against the host CPU. Pure given the host: the
+/// same policy always resolves to the same engine.
+pub fn resolve(policy: SimdPolicy) -> Engine {
+    match policy {
+        SimdPolicy::Env => resolve(SimdPolicy::from_env()),
+        SimdPolicy::Scalar => Engine::Scalar,
+        SimdPolicy::Auto | SimdPolicy::Avx2 => {
+            if Engine::avx2_available() {
+                Engine::Avx2 { fma: false }
+            } else {
+                Engine::Scalar
+            }
+        }
+        SimdPolicy::Avx2Fma => {
+            if Engine::fma_available() {
+                Engine::Avx2 { fma: true }
+            } else if Engine::avx2_available() {
+                Engine::Avx2 { fma: false }
+            } else {
+                Engine::Scalar
+            }
+        }
+    }
+}
+
+/// The process-wide engine, resolved once on first use.
+static ACTIVE: OnceLock<Engine> = OnceLock::new();
+
+/// Resolves (on first call) and returns the process-wide engine. The
+/// first caller's policy wins — later `install`s of a different policy
+/// are ignored and simply report what is active, so a fleet embedded
+/// next to another consumer cannot flip kernels mid-computation.
+pub fn install(policy: SimdPolicy) -> Engine {
+    *ACTIVE.get_or_init(|| resolve(policy))
+}
+
+/// The process-wide engine under the default ([`SimdPolicy::Env`])
+/// policy — what every kernel dispatch site reads.
+pub fn active() -> Engine {
+    install(SimdPolicy::Env)
+}
+
+// ---------------------------------------------------------------------
+// AVX2 kernel entry points (safe wrappers).
+//
+// Each returns `true`/`Some` only after performing the work with the
+// AVX2 (optionally FMA) instructions; a `false`/`None` return means the
+// host lacks the feature and the caller must run its scalar fallback.
+// Dispatch sites that already matched on `Engine::Avx2` will never see
+// the fallback in practice — the runtime check is defence in depth
+// (`Engine` is a plain enum anyone can construct).
+// ---------------------------------------------------------------------
+
+/// Blocked matrix product `C = A·B` with the AVX2 micro-kernel
+/// (`a.cols() == b.rows()` is the caller's invariant, as in
+/// [`crate::blocked`]). Bit-identical to the scalar blocked kernel for
+/// `fma == false`.
+pub(crate) fn matmul_avx2(a: &Matrix, b: &Matrix, fma: bool) -> Option<Matrix> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if fma && Engine::fma_available() {
+            let mut c = Matrix::zeros(a.rows(), b.cols());
+            // SAFETY: AVX2 + FMA presence checked on this line's path.
+            unsafe { x86::matmul_fma(a, b, &mut c) };
+            return Some(c);
+        }
+        if !fma && Engine::avx2_available() {
+            let mut c = Matrix::zeros(a.rows(), b.cols());
+            // SAFETY: AVX2 presence checked on this line's path.
+            unsafe { x86::matmul_plain(a, b, &mut c) };
+            return Some(c);
+        }
+        None
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (a, b, fma);
+        None
+    }
+}
+
+/// Blocked Gram product `AᵀA` with the AVX2 micro-kernel.
+/// Bit-identical to the scalar blocked kernel for `fma == false`.
+pub(crate) fn gram_avx2(a: &Matrix, fma: bool) -> Option<Matrix> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if fma && Engine::fma_available() {
+            let mut g = Matrix::zeros(a.cols(), a.cols());
+            // SAFETY: AVX2 + FMA presence checked on this line's path.
+            unsafe { x86::gram_fma(a, &mut g) };
+            return Some(g);
+        }
+        if !fma && Engine::avx2_available() {
+            let mut g = Matrix::zeros(a.cols(), a.cols());
+            // SAFETY: AVX2 presence checked on this line's path.
+            unsafe { x86::gram_plain(a, &mut g) };
+            return Some(g);
+        }
+        None
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (a, fma);
+        None
+    }
+}
+
+/// The Cholesky trailing update's packed block sweep: subtracts
+/// `P·Pᵀ` contributions from the trailing lower triangle of `l`, with
+/// the operands already packed k-major in 4-row blocks by
+/// [`crate::blocked::pack_trailing_panel`]. Arguments mirror the scalar
+/// sweep in [`crate::blocked::cholesky_trailing_update_with`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn trailing_avx2(
+    l: &mut [f64],
+    n: usize,
+    start: usize,
+    nr: usize,
+    pb: usize,
+    pack: &[f64],
+    nonzero: &[bool],
+    fma: bool,
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if fma && Engine::fma_available() {
+            // SAFETY: AVX2 + FMA presence checked on this line's path.
+            unsafe { x86::trailing_fma(l, n, start, nr, pb, pack, nonzero) };
+            return true;
+        }
+        if !fma && Engine::avx2_available() {
+            // SAFETY: AVX2 presence checked on this line's path.
+            unsafe { x86::trailing_plain(l, n, start, nr, pb, pack, nonzero) };
+            return true;
+        }
+        false
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (l, n, start, nr, pb, pack, nonzero, fma);
+        false
+    }
+}
+
+/// Four interleaved covariance dot-product chains: returns
+/// `[Σ_l a0[l]·b0[l], …, Σ_l a3[l]·b3[l]]` with each chain accumulating
+/// ascending `l` into a single accumulator (lanes are the four chains;
+/// products are formed snapshot-contiguous and one 4×4 transpose feeds
+/// each snapshot to all four chains in order). All eight slices must
+/// share one length. This kernel has no `a·b + acc` contraction
+/// opportunity, so it is bit-identical to the scalar interleaved loop
+/// under **every** engine — the `fma` flag only widens the accepted
+/// feature set.
+#[allow(clippy::too_many_arguments)]
+pub fn pair_cov4(
+    a0: &[f64],
+    b0: &[f64],
+    a1: &[f64],
+    b1: &[f64],
+    a2: &[f64],
+    b2: &[f64],
+    a3: &[f64],
+    b3: &[f64],
+    fma: bool,
+) -> Option<[f64; 4]> {
+    let m = a0.len();
+    debug_assert!(
+        [b0, a1, b1, a2, b2, a3, b3].iter().all(|s| s.len() == m),
+        "pair_cov4 slices disagree on length"
+    );
+    #[cfg(target_arch = "x86_64")]
+    {
+        let _ = fma;
+        if Engine::avx2_available() {
+            // SAFETY: AVX2 presence checked on this line's path; slice
+            // lengths agree per the debug_assert'd contract (release
+            // callers pass rows of one dev buffer).
+            return Some(unsafe { x86::pair_cov4_plain(a0, b0, a1, b1, a2, b2, a3, b3) });
+        }
+        None
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (a0, b0, a1, b1, a2, b2, a3, b3, fma);
+        None
+    }
+}
+
+/// The arithmetic span of one sparse Givens rotation: over the merged
+/// support (`rv`, `wv` aligned), computes
+/// `new_r[i] = c·rv[i] + s·wv[i]` and `new_w[i] = c·wv[i] − s·rv[i]`
+/// (lanes are span columns; each output element performs the same
+/// mul-mul-add/sub as the scalar expression). `new_r`/`new_w` must be
+/// at least `rv.len()` long; only the first `rv.len()` entries are
+/// written. Bit-identical to the scalar span for `fma == false`.
+pub fn rotate_span(
+    c: f64,
+    s: f64,
+    rv: &[f64],
+    wv: &[f64],
+    new_r: &mut [f64],
+    new_w: &mut [f64],
+    fma: bool,
+) -> bool {
+    let len = rv.len();
+    assert_eq!(wv.len(), len, "rotation span slices disagree");
+    assert!(new_r.len() >= len && new_w.len() >= len, "outputs too short");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if fma && Engine::fma_available() {
+            // SAFETY: AVX2 + FMA presence checked; lengths checked above.
+            unsafe { x86::rotate_span_fma(c, s, rv, wv, new_r, new_w) };
+            return true;
+        }
+        if !fma && Engine::avx2_available() {
+            // SAFETY: AVX2 presence checked; lengths checked above.
+            unsafe { x86::rotate_span_plain(c, s, rv, wv, new_r, new_w) };
+            return true;
+        }
+        false
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (c, s, rv, wv, new_r, new_w, fma);
+        false
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! The `std::arch` kernel bodies. Every pair of `*_plain`/`*_fma`
+    //! entry points instantiates one `#[inline(always)]` body with a
+    //! `const FMA: bool` switch under the matching `#[target_feature]`
+    //! set, so the non-FMA instantiation never contracts.
+
+    use super::Matrix;
+    use core::arch::x86_64::*;
+
+    /// One accumulation step `acc + x·y` — separate round-to-nearest
+    /// multiply and add (bit-exact vs scalar) unless `FMA`.
+    #[inline(always)]
+    unsafe fn step<const FMA: bool>(acc: __m256d, x: __m256d, y: __m256d) -> __m256d {
+        if FMA {
+            _mm256_fmadd_pd(x, y, acc)
+        } else {
+            _mm256_add_pd(acc, _mm256_mul_pd(x, y))
+        }
+    }
+
+    // -------------------------------------------------- matmul / gram
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn matmul_plain(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        matmul_body::<false>(a, b, c)
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn matmul_fma(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        matmul_body::<true>(a, b, c)
+    }
+
+    /// 4×8 register-blocked matmul: 8 accumulator vectors (one output
+    /// cell per lane) stay in registers across the whole inner-product
+    /// loop; every `B` load serves four output rows. Each cell sums
+    /// ascending `k` in its own chain — the reference order.
+    #[inline(always)]
+    unsafe fn matmul_body<const FMA: bool>(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+        const MR: usize = crate::blocked::MR;
+        let (m, kdim) = a.shape();
+        let n = b.cols();
+        let ad = a.as_slice();
+        let bd = b.as_slice();
+        let cd = c.as_mut_slice();
+        let mut i0 = 0;
+        while i0 + MR <= m {
+            let a_rows = [
+                &ad[i0 * kdim..(i0 + 1) * kdim],
+                &ad[(i0 + 1) * kdim..(i0 + 2) * kdim],
+                &ad[(i0 + 2) * kdim..(i0 + 3) * kdim],
+                &ad[(i0 + 3) * kdim..(i0 + 4) * kdim],
+            ];
+            let mut j = 0;
+            while j + 8 <= n {
+                let mut acc = [[_mm256_setzero_pd(); 2]; MR];
+                for k in 0..kdim {
+                    let bp = bd.as_ptr().add(k * n + j);
+                    let b0 = _mm256_loadu_pd(bp);
+                    let b1 = _mm256_loadu_pd(bp.add(4));
+                    for (row, accr) in a_rows.iter().zip(acc.iter_mut()) {
+                        let av = _mm256_set1_pd(*row.get_unchecked(k));
+                        accr[0] = step::<FMA>(accr[0], av, b0);
+                        accr[1] = step::<FMA>(accr[1], av, b1);
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    let cp = cd.as_mut_ptr().add((i0 + r) * n + j);
+                    _mm256_storeu_pd(cp, accr[0]);
+                    _mm256_storeu_pd(cp.add(4), accr[1]);
+                }
+                j += 8;
+            }
+            if j + 4 <= n {
+                let mut acc = [_mm256_setzero_pd(); MR];
+                for k in 0..kdim {
+                    let b0 = _mm256_loadu_pd(bd.as_ptr().add(k * n + j));
+                    for (row, accr) in a_rows.iter().zip(acc.iter_mut()) {
+                        let av = _mm256_set1_pd(*row.get_unchecked(k));
+                        *accr = step::<FMA>(*accr, av, b0);
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    _mm256_storeu_pd(cd.as_mut_ptr().add((i0 + r) * n + j), *accr);
+                }
+                j += 4;
+            }
+            // Scalar remainder columns (n % 4): reference chains.
+            for jj in j..n {
+                for (r, row) in a_rows.iter().enumerate() {
+                    let mut s = 0.0;
+                    for (k, &aik) in row.iter().enumerate() {
+                        s = scalar_step::<FMA>(s, aik, bd[k * n + jj]);
+                    }
+                    cd[(i0 + r) * n + jj] = s;
+                }
+            }
+            i0 += MR;
+        }
+        // Scalar remainder rows (m % MR): reference chains.
+        for i in i0..m {
+            let row = &ad[i * kdim..(i + 1) * kdim];
+            for jj in 0..n {
+                let mut s = 0.0;
+                for (k, &aik) in row.iter().enumerate() {
+                    s = scalar_step::<FMA>(s, aik, bd[k * n + jj]);
+                }
+                cd[i * n + jj] = s;
+            }
+        }
+    }
+
+    /// Scalar accumulation step matching [`step`]'s contraction choice,
+    /// for the remainder lanes of the vector kernels.
+    #[inline(always)]
+    fn scalar_step<const FMA: bool>(acc: f64, x: f64, y: f64) -> f64 {
+        if FMA {
+            x.mul_add(y, acc)
+        } else {
+            acc + x * y
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gram_plain(a: &Matrix, g: &mut Matrix) {
+        gram_body::<false>(a, g)
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn gram_fma(a: &Matrix, g: &mut Matrix) {
+        gram_body::<true>(a, g)
+    }
+
+    /// Gram micro-panel: four output rows (`j0..j0+4`), columns swept
+    /// 8-wide with register accumulators over the full row loop. Lanes
+    /// are output cells; each sums ascending row index `i`. Vector
+    /// stores may spill a few entries below the diagonal inside the
+    /// straddling chunk — those receive their true symmetric values
+    /// (IEEE multiplication commutes exactly) and are overwritten by
+    /// the mirror pass regardless, exactly like the scalar kernel's
+    /// straddling tile.
+    #[inline(always)]
+    unsafe fn gram_body<const FMA: bool>(a: &Matrix, g: &mut Matrix) {
+        const MR: usize = crate::blocked::MR;
+        let (m, n) = a.shape();
+        let ad = a.as_slice();
+        let gd = g.as_mut_slice();
+        let mut j0 = 0;
+        while j0 + MR <= n {
+            // Column start: the 4-aligned chunk containing the diagonal.
+            let c0 = j0 & !3;
+            let mut c = c0;
+            while c + 8 <= n {
+                let mut acc = [[_mm256_setzero_pd(); 2]; MR];
+                for i in 0..m {
+                    let row = &ad[i * n..(i + 1) * n];
+                    let kp = row.as_ptr().add(c);
+                    let k0 = _mm256_loadu_pd(kp);
+                    let k1 = _mm256_loadu_pd(kp.add(4));
+                    for (r, accr) in acc.iter_mut().enumerate() {
+                        let av = _mm256_set1_pd(*row.get_unchecked(j0 + r));
+                        accr[0] = step::<FMA>(accr[0], av, k0);
+                        accr[1] = step::<FMA>(accr[1], av, k1);
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    let gp = gd.as_mut_ptr().add((j0 + r) * n + c);
+                    _mm256_storeu_pd(gp, accr[0]);
+                    _mm256_storeu_pd(gp.add(4), accr[1]);
+                }
+                c += 8;
+            }
+            if c + 4 <= n {
+                let mut acc = [_mm256_setzero_pd(); MR];
+                for i in 0..m {
+                    let row = &ad[i * n..(i + 1) * n];
+                    let k0 = _mm256_loadu_pd(row.as_ptr().add(c));
+                    for (r, accr) in acc.iter_mut().enumerate() {
+                        let av = _mm256_set1_pd(*row.get_unchecked(j0 + r));
+                        *accr = step::<FMA>(*accr, av, k0);
+                    }
+                }
+                for (r, accr) in acc.iter().enumerate() {
+                    _mm256_storeu_pd(gd.as_mut_ptr().add((j0 + r) * n + c), *accr);
+                }
+                c += 4;
+            }
+            // Scalar remainder columns (n % 4).
+            for k in c..n {
+                for r in 0..MR {
+                    let j = j0 + r;
+                    let mut s = 0.0;
+                    for i in 0..m {
+                        s = scalar_step::<FMA>(s, ad[i * n + j], ad[i * n + k]);
+                    }
+                    gd[j * n + k] = s;
+                }
+            }
+            j0 += MR;
+        }
+        // Scalar remainder rows (n % MR): upper triangle only, as in
+        // the scalar kernel.
+        for j in j0..n {
+            for k in j..n {
+                let mut s = 0.0;
+                for i in 0..m {
+                    s = scalar_step::<FMA>(s, ad[i * n + j], ad[i * n + k]);
+                }
+                gd[j * n + k] = s;
+            }
+        }
+        // Mirror the upper triangle (shared with the scalar kernel's
+        // final pass; entries the vector stores spilled below the
+        // diagonal are overwritten here).
+        for j in 0..n {
+            for k in (j + 1)..n {
+                gd[k * n + j] = gd[j * n + k];
+            }
+        }
+    }
+
+    // ---------------------------------------- Cholesky trailing update
+
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn trailing_plain(
+        l: &mut [f64],
+        n: usize,
+        start: usize,
+        nr: usize,
+        pb: usize,
+        pack: &[f64],
+        nonzero: &[bool],
+    ) {
+        trailing_body::<false>(l, n, start, nr, pb, pack, nonzero)
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn trailing_fma(
+        l: &mut [f64],
+        n: usize,
+        start: usize,
+        nr: usize,
+        pb: usize,
+        pack: &[f64],
+        nonzero: &[bool],
+    ) {
+        trailing_body::<true>(l, n, start, nr, pb, pack, nonzero)
+    }
+
+    /// Subtracts one accumulated 4-lane vector (row `r` of block pair
+    /// `(bi, bj)`) from the trailing triangle, guarding `j <= i` exactly
+    /// like the scalar sweep's write-back.
+    #[inline(always)]
+    unsafe fn trailing_subtract_lane(
+        l: &mut [f64],
+        n: usize,
+        start: usize,
+        bi: usize,
+        bj: usize,
+        r: usize,
+        acc: __m256d,
+    ) {
+        const MR: usize = crate::blocked::MR;
+        let mut lane = [0.0f64; MR];
+        _mm256_storeu_pd(lane.as_mut_ptr(), acc);
+        let i = start + bi * MR + r;
+        let irow = &mut l[i * n..i * n + n];
+        for (c, &av) in lane.iter().enumerate() {
+            let j = start + bj * MR + c;
+            if j <= i {
+                irow[j] -= av;
+            }
+        }
+    }
+
+    /// One 4×4 block pair of the trailing sweep (the narrow kernel used
+    /// for the diagonal block and for lone nonzero blocks the 4×8 pairing
+    /// cannot cover).
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn trailing_block4<const FMA: bool>(
+        l: &mut [f64],
+        n: usize,
+        start: usize,
+        pb: usize,
+        a_blk: &[f64],
+        b_blk: &[f64],
+        bi: usize,
+        bj: usize,
+        rows: usize,
+    ) {
+        const MR: usize = crate::blocked::MR;
+        let mut acc = [_mm256_setzero_pd(); MR];
+        for k in 0..pb {
+            let bv = _mm256_loadu_pd(b_blk.as_ptr().add(k * MR));
+            let ap = a_blk.as_ptr().add(k * MR);
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let av = _mm256_set1_pd(*ap.add(r));
+                *accr = step::<FMA>(*accr, av, bv);
+            }
+        }
+        for (r, accr) in acc.iter().enumerate().take(rows) {
+            trailing_subtract_lane(l, n, start, bi, bj, r, *accr);
+        }
+    }
+
+    /// The packed trailing micro-kernel, 4 rows × 8 columns: the eight
+    /// accumulator vectors cover a pair of adjacent 4-wide `bj` blocks,
+    /// so each broadcast of `a[k·4+r]` feeds two column vectors (eight
+    /// independent chains keep the add pipeline full, exactly as in the
+    /// matmul micro-panel). Each output cell still sums ascending `k` in
+    /// its own chain — the reference order. Zero blocks are skipped via
+    /// the shared occupancy flags (identical skipping to the scalar
+    /// sweep since the pack is shared); a pair with a single nonzero
+    /// member degrades to the 4-wide kernel on that member.
+    #[inline(always)]
+    unsafe fn trailing_body<const FMA: bool>(
+        l: &mut [f64],
+        n: usize,
+        start: usize,
+        nr: usize,
+        pb: usize,
+        pack: &[f64],
+        nonzero: &[bool],
+    ) {
+        const MR: usize = crate::blocked::MR;
+        let nblk = nr.div_ceil(MR);
+        let blk_len = pb * MR;
+        for bi in 0..nblk {
+            if !nonzero[bi] {
+                continue;
+            }
+            let a_blk = &pack[bi * blk_len..(bi + 1) * blk_len];
+            let rows = MR.min(nr - bi * MR);
+            let mut bj = 0;
+            while bj < bi {
+                match (nonzero[bj], nonzero[bj + 1]) {
+                    (true, true) => {
+                        let b0 = &pack[bj * blk_len..(bj + 1) * blk_len];
+                        let b1 = &pack[(bj + 1) * blk_len..(bj + 2) * blk_len];
+                        let mut acc = [[_mm256_setzero_pd(); 2]; MR];
+                        for k in 0..pb {
+                            let bv0 = _mm256_loadu_pd(b0.as_ptr().add(k * MR));
+                            let bv1 = _mm256_loadu_pd(b1.as_ptr().add(k * MR));
+                            let ap = a_blk.as_ptr().add(k * MR);
+                            for (r, accr) in acc.iter_mut().enumerate() {
+                                let av = _mm256_set1_pd(*ap.add(r));
+                                accr[0] = step::<FMA>(accr[0], av, bv0);
+                                accr[1] = step::<FMA>(accr[1], av, bv1);
+                            }
+                        }
+                        for (r, accr) in acc.iter().enumerate().take(rows) {
+                            trailing_subtract_lane(l, n, start, bi, bj, r, accr[0]);
+                            trailing_subtract_lane(l, n, start, bi, bj + 1, r, accr[1]);
+                        }
+                    }
+                    (true, false) => {
+                        let b_blk = &pack[bj * blk_len..(bj + 1) * blk_len];
+                        trailing_block4::<FMA>(l, n, start, pb, a_blk, b_blk, bi, bj, rows);
+                    }
+                    (false, true) => {
+                        let b_blk = &pack[(bj + 1) * blk_len..(bj + 2) * blk_len];
+                        trailing_block4::<FMA>(l, n, start, pb, a_blk, b_blk, bi, bj + 1, rows);
+                    }
+                    (false, false) => {}
+                }
+                bj += 2;
+            }
+            if bj <= bi && nonzero[bj] {
+                let b_blk = &pack[bj * blk_len..(bj + 1) * blk_len];
+                trailing_block4::<FMA>(l, n, start, pb, a_blk, b_blk, bi, bj, rows);
+            }
+        }
+    }
+
+    // ------------------------------------------- covariance pair sweep
+
+    /// 4×4 transpose of row registers into snapshot-lane registers.
+    #[inline(always)]
+    unsafe fn transpose4(
+        r0: __m256d,
+        r1: __m256d,
+        r2: __m256d,
+        r3: __m256d,
+    ) -> (__m256d, __m256d, __m256d, __m256d) {
+        let t0 = _mm256_unpacklo_pd(r0, r1);
+        let t1 = _mm256_unpackhi_pd(r0, r1);
+        let t2 = _mm256_unpacklo_pd(r2, r3);
+        let t3 = _mm256_unpackhi_pd(r2, r3);
+        (
+            _mm256_permute2f128_pd(t0, t2, 0x20),
+            _mm256_permute2f128_pd(t1, t3, 0x20),
+            _mm256_permute2f128_pd(t0, t2, 0x31),
+            _mm256_permute2f128_pd(t1, t3, 0x31),
+        )
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub(super) unsafe fn pair_cov4_plain(
+        a0: &[f64],
+        b0: &[f64],
+        a1: &[f64],
+        b1: &[f64],
+        a2: &[f64],
+        b2: &[f64],
+        a3: &[f64],
+        b3: &[f64],
+    ) -> [f64; 4] {
+        pair_cov4_body(a0, b0, a1, b1, a2, b2, a3, b3)
+    }
+
+    /// Products are formed snapshot-contiguous (`p_i = a_i·b_i`, four
+    /// multiplies covering sixteen scalar products), then **one** 4×4
+    /// transpose turns the four product vectors into snapshot vectors
+    /// `q_k = [p_0[l+k], …, p_3[l+k]]` which are accumulated in
+    /// ascending snapshot order — each lane replays chain `i`'s exact
+    /// scalar operation sequence (same multiply, same add order), so the
+    /// result is bit-identical to the interleaved reference loop.
+    /// Transposing products instead of both operand groups halves the
+    /// shuffle-port traffic that bounds this kernel. There is no
+    /// `a·b + acc` contraction opportunity (the transpose sits between
+    /// multiply and add), so the FMA engine runs this same body and the
+    /// kernel is bit-exact under *every* engine. The `m % 4` tail
+    /// continues each lane's accumulator in scalar code.
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn pair_cov4_body(
+        a0: &[f64],
+        b0: &[f64],
+        a1: &[f64],
+        b1: &[f64],
+        a2: &[f64],
+        b2: &[f64],
+        a3: &[f64],
+        b3: &[f64],
+    ) -> [f64; 4] {
+        let m = a0.len();
+        let mut acc = _mm256_setzero_pd();
+        let mut l = 0;
+        while l + 4 <= m {
+            let p0 = _mm256_mul_pd(
+                _mm256_loadu_pd(a0.as_ptr().add(l)),
+                _mm256_loadu_pd(b0.as_ptr().add(l)),
+            );
+            let p1 = _mm256_mul_pd(
+                _mm256_loadu_pd(a1.as_ptr().add(l)),
+                _mm256_loadu_pd(b1.as_ptr().add(l)),
+            );
+            let p2 = _mm256_mul_pd(
+                _mm256_loadu_pd(a2.as_ptr().add(l)),
+                _mm256_loadu_pd(b2.as_ptr().add(l)),
+            );
+            let p3 = _mm256_mul_pd(
+                _mm256_loadu_pd(a3.as_ptr().add(l)),
+                _mm256_loadu_pd(b3.as_ptr().add(l)),
+            );
+            let (q0, q1, q2, q3) = transpose4(p0, p1, p2, p3);
+            acc = _mm256_add_pd(acc, q0);
+            acc = _mm256_add_pd(acc, q1);
+            acc = _mm256_add_pd(acc, q2);
+            acc = _mm256_add_pd(acc, q3);
+            l += 4;
+        }
+        let mut s = [0.0f64; 4];
+        _mm256_storeu_pd(s.as_mut_ptr(), acc);
+        for ll in l..m {
+            s[0] = scalar_step::<false>(s[0], a0[ll], b0[ll]);
+            s[1] = scalar_step::<false>(s[1], a1[ll], b1[ll]);
+            s[2] = scalar_step::<false>(s[2], a2[ll], b2[ll]);
+            s[3] = scalar_step::<false>(s[3], a3[ll], b3[ll]);
+        }
+        s
+    }
+
+    // ------------------------------------------ sparse Givens rotation
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn rotate_span_plain(
+        c: f64,
+        s: f64,
+        rv: &[f64],
+        wv: &[f64],
+        new_r: &mut [f64],
+        new_w: &mut [f64],
+    ) {
+        rotate_span_body::<false>(c, s, rv, wv, new_r, new_w)
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn rotate_span_fma(
+        c: f64,
+        s: f64,
+        rv: &[f64],
+        wv: &[f64],
+        new_r: &mut [f64],
+        new_w: &mut [f64],
+    ) {
+        rotate_span_body::<true>(c, s, rv, wv, new_r, new_w)
+    }
+
+    /// Lanes are span columns: `new_r = c·rv + s·wv`,
+    /// `new_w = c·wv − s·rv`, each lane the same multiply-multiply-
+    /// add/subtract sequence as the scalar expressions.
+    #[inline(always)]
+    unsafe fn rotate_span_body<const FMA: bool>(
+        c: f64,
+        s: f64,
+        rv: &[f64],
+        wv: &[f64],
+        new_r: &mut [f64],
+        new_w: &mut [f64],
+    ) {
+        let len = rv.len();
+        let vc = _mm256_set1_pd(c);
+        let vs = _mm256_set1_pd(s);
+        let mut i = 0;
+        while i + 4 <= len {
+            let rvi = _mm256_loadu_pd(rv.as_ptr().add(i));
+            let wvi = _mm256_loadu_pd(wv.as_ptr().add(i));
+            let (nr, nw) = if FMA {
+                (
+                    _mm256_fmadd_pd(vc, rvi, _mm256_mul_pd(vs, wvi)),
+                    _mm256_fmsub_pd(vc, wvi, _mm256_mul_pd(vs, rvi)),
+                )
+            } else {
+                (
+                    _mm256_add_pd(_mm256_mul_pd(vc, rvi), _mm256_mul_pd(vs, wvi)),
+                    _mm256_sub_pd(_mm256_mul_pd(vc, wvi), _mm256_mul_pd(vs, rvi)),
+                )
+            };
+            _mm256_storeu_pd(new_r.as_mut_ptr().add(i), nr);
+            _mm256_storeu_pd(new_w.as_mut_ptr().add(i), nw);
+            i += 4;
+        }
+        for ii in i..len {
+            if FMA {
+                new_r[ii] = c.mul_add(rv[ii], s * wv[ii]);
+                new_w[ii] = c.mul_add(wv[ii], -(s * rv[ii]));
+            } else {
+                new_r[ii] = c * rv[ii] + s * wv[ii];
+                new_w[ii] = c * wv[ii] - s * rv[ii];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_parsing() {
+        assert_eq!(SimdPolicy::parse("scalar"), SimdPolicy::Scalar);
+        assert_eq!(SimdPolicy::parse("AVX2"), SimdPolicy::Avx2);
+        assert_eq!(SimdPolicy::parse("avx2fma"), SimdPolicy::Avx2Fma);
+        assert_eq!(SimdPolicy::parse("fma"), SimdPolicy::Avx2Fma);
+        assert_eq!(SimdPolicy::parse("auto"), SimdPolicy::Auto);
+        assert_eq!(SimdPolicy::parse("garbage"), SimdPolicy::Auto);
+        assert_eq!(SimdPolicy::default(), SimdPolicy::Env);
+    }
+
+    #[test]
+    fn resolution_honours_forced_scalar_and_hardware() {
+        assert_eq!(resolve(SimdPolicy::Scalar), Engine::Scalar);
+        let auto = resolve(SimdPolicy::Auto);
+        if Engine::avx2_available() {
+            assert_eq!(auto, Engine::Avx2 { fma: false });
+        } else {
+            assert_eq!(auto, Engine::Scalar);
+        }
+        // Auto never selects FMA contraction — bit-exactness is the
+        // default contract.
+        assert_ne!(auto, Engine::Avx2 { fma: true });
+        match resolve(SimdPolicy::Avx2Fma) {
+            Engine::Avx2 { fma: true } => assert!(Engine::fma_available()),
+            Engine::Avx2 { fma: false } => assert!(Engine::avx2_available()),
+            Engine::Scalar => assert!(!Engine::avx2_available()),
+        }
+    }
+
+    #[test]
+    fn active_is_stable_and_first_install_wins() {
+        let first = active();
+        assert_eq!(active(), first);
+        // A later conflicting install reports the resolved engine
+        // instead of flipping it.
+        assert_eq!(install(SimdPolicy::Scalar), first);
+        assert_eq!(install(SimdPolicy::Avx2), first);
+    }
+
+    #[test]
+    fn engine_names() {
+        assert_eq!(Engine::Scalar.name(), "scalar");
+        assert_eq!(Engine::Avx2 { fma: false }.name(), "avx2");
+        assert_eq!(Engine::Avx2 { fma: true }.name(), "avx2+fma");
+    }
+
+    #[test]
+    fn kernels_report_unavailable_cleanly() {
+        // Whatever the host, the wrappers never panic on the
+        // availability check itself; on non-AVX2 hosts they must
+        // decline rather than fault.
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let r = matmul_avx2(&a, &a, false);
+        assert_eq!(r.is_some(), Engine::avx2_available());
+        let g = gram_avx2(&a, false);
+        assert_eq!(g.is_some(), Engine::avx2_available());
+        let cov = pair_cov4(
+            &[1.0],
+            &[1.0],
+            &[1.0],
+            &[1.0],
+            &[1.0],
+            &[1.0],
+            &[1.0],
+            &[1.0],
+            false,
+        );
+        assert_eq!(cov.is_some(), Engine::avx2_available());
+        if let Some(c) = cov {
+            assert_eq!(c, [1.0; 4]);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Property tests pinning the AVX2 microkernels to the scalar
+//! reference loops **bit-for-bit**.
+//!
+//! The SIMD module's whole contract is that the default (non-FMA)
+//! engines are indistinguishable from the scalar kernels — not "close",
+//! identical, down to NaN/∞ payloads and which entries round to exact
+//! zero. Every comparison here is therefore on `f64::to_bits`, and the
+//! strategies deliberately hit the awkward shapes: micro-panel
+//! remainders (`% 4`, `% 8`), panel-crossing sizes, zero blocks the
+//! trailing sweep skips, and non-finite values.
+//!
+//! One deliberate carve-out: NaN **payloads** are canonicalised before
+//! comparison. When two distinct NaNs meet in an add (say a propagated
+//! input NaN and the `∞·0` indefinite), IEEE-754 leaves the surviving
+//! payload to the implementation, and LLVM freely commutes scalar
+//! `a*b` operands — so exact payload bits are not stable even between
+//! two scalar builds. What *is* pinned: NaNs appear in exactly the
+//! same entries, and every non-NaN value (±∞ included) is bit-exact.
+//!
+//! On hosts without AVX2 the vector entry points decline (`None` /
+//! `false`) and each test degrades to checking exactly that.
+
+use losstomo_linalg::{blocked, simd, Cholesky, Engine, Matrix};
+use proptest::prelude::*;
+
+const AVX2: Engine = Engine::Avx2 { fma: false };
+
+/// `to_bits` with NaN payloads collapsed to the canonical quiet NaN
+/// (see the module doc for why payloads are not comparable).
+fn canon_bits(v: f64) -> u64 {
+    if v.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        v.to_bits()
+    }
+}
+
+fn bits(m: &Matrix) -> Vec<u64> {
+    m.as_slice().iter().map(|v| canon_bits(*v)).collect()
+}
+
+/// Strategy: matrix entries including non-finite values, so NaN/∞
+/// propagation is part of every pinned comparison.
+fn entry() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        20 => -10.0f64..10.0,
+        1 => Just(f64::NAN),
+        1 => Just(f64::INFINITY),
+        1 => Just(f64::NEG_INFINITY),
+        2 => Just(0.0f64),
+    ]
+}
+
+/// Strategy: an `r × c` matrix with awkward dimensions around the 4-
+/// and 8-wide kernel boundaries.
+fn matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(entry(), r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// matmul: AVX2 micro-panel ≡ scalar blocked kernel, bitwise, for
+    /// every row/column remainder combination (including NaN/∞).
+    #[test]
+    fn matmul_avx2_bitwise_equals_scalar(
+        a in matrix(1..14, 1..14),
+        bcols in 1usize..14,
+        seed in proptest::collection::vec(entry(), 14 * 14),
+    ) {
+        let k = a.cols();
+        let b = Matrix::from_vec(k, bcols, seed[..k * bcols].to_vec()).unwrap();
+        let scalar = blocked::matmul_with(&a, &b, Engine::Scalar);
+        let vector = blocked::matmul_with(&a, &b, AVX2);
+        prop_assert_eq!(bits(&scalar), bits(&vector));
+    }
+
+    /// gram: AVX2 ≡ scalar, bitwise — the below-diagonal vector spill
+    /// and the mirror pass must leave no trace.
+    #[test]
+    fn gram_avx2_bitwise_equals_scalar(a in matrix(1..14, 1..14)) {
+        let scalar = blocked::gram_with(&a, Engine::Scalar);
+        let vector = blocked::gram_with(&a, AVX2);
+        prop_assert_eq!(bits(&scalar), bits(&vector));
+    }
+
+    /// pair_cov4: the 4 interleaved accumulator chains, bitwise,
+    /// including `m % 4` tails continued in scalar code.
+    #[test]
+    fn pair_cov4_bitwise_equals_scalar_chains(
+        m in 0usize..19,
+        vals in proptest::collection::vec(entry(), 8 * 19),
+    ) {
+        let rows: Vec<&[f64]> = (0..8).map(|r| &vals[r * 19..r * 19 + m]).collect();
+        let (a0, b0, a1, b1) = (rows[0], rows[1], rows[2], rows[3]);
+        let (a2, b2, a3, b3) = (rows[4], rows[5], rows[6], rows[7]);
+        let mut oracle = [0.0f64; 4];
+        for l in 0..m {
+            oracle[0] += a0[l] * b0[l];
+            oracle[1] += a1[l] * b1[l];
+            oracle[2] += a2[l] * b2[l];
+            oracle[3] += a3[l] * b3[l];
+        }
+        match simd::pair_cov4(a0, b0, a1, b1, a2, b2, a3, b3, false) {
+            Some(got) => {
+                let ob: Vec<u64> = oracle.iter().map(|v| canon_bits(*v)).collect();
+                let gb: Vec<u64> = got.iter().map(|v| canon_bits(*v)).collect();
+                prop_assert_eq!(ob, gb);
+            }
+            None => prop_assert!(!Engine::avx2_available()),
+        }
+    }
+
+    /// rotate_span: each lane performs the scalar `c·r + s·w` /
+    /// `c·w − s·r` sequence, bitwise, including the tail lanes.
+    #[test]
+    fn rotate_span_bitwise_equals_scalar(
+        len in 0usize..23,
+        c in -2.0f64..2.0,
+        s in -2.0f64..2.0,
+        vals in proptest::collection::vec(entry(), 2 * 23),
+    ) {
+        let rv = &vals[..len];
+        let wv = &vals[23..23 + len];
+        let mut new_r = vec![0.0; len];
+        let mut new_w = vec![0.0; len];
+        if simd::rotate_span(c, s, rv, wv, &mut new_r, &mut new_w, false) {
+            for i in 0..len {
+                prop_assert_eq!(canon_bits(new_r[i]), canon_bits(c * rv[i] + s * wv[i]));
+                prop_assert_eq!(canon_bits(new_w[i]), canon_bits(c * wv[i] - s * rv[i]));
+            }
+        } else {
+            prop_assert!(!Engine::avx2_available());
+        }
+    }
+
+    /// Cholesky: forced-scalar and forced-AVX2 factorisations of a
+    /// random SPD matrix agree bitwise (small sizes — the panel is
+    /// unblocked, pinning the dispatch plumbing).
+    #[test]
+    fn cholesky_small_bitwise_across_engines(
+        n in 1usize..10,
+        vals in proptest::collection::vec(-2.0f64..2.0, 10 * 10),
+    ) {
+        let a = Matrix::from_vec(n, n, vals[..n * n].to_vec()).unwrap();
+        let mut spd = blocked::gram_with(&a, Engine::Scalar);
+        for i in 0..n {
+            spd[(i, i)] += 1.0 + n as f64;
+        }
+        let mut scalar = Cholesky::new(&spd).unwrap();
+        scalar.factor_into_with(&spd, Engine::Scalar).unwrap();
+        let mut vector = Cholesky::new(&spd).unwrap();
+        vector.factor_into_with(&spd, AVX2).unwrap();
+        prop_assert_eq!(bits(scalar.l()), bits(vector.l()));
+    }
+}
+
+/// Cholesky at a size that crosses the blocked panel boundary, so the
+/// packed trailing sweep (the AVX2 4×8 kernel) actually runs — with a
+/// structurally sparse SPD matrix whose zero blocks exercise the
+/// occupancy-flag skipping on both engines.
+#[test]
+fn cholesky_blocked_trailing_bitwise_across_engines() {
+    let n = 150;
+    // Arrow + band structure: dense band near the diagonal, a dense
+    // final block row/column, zeros elsewhere — plenty of all-zero
+    // 4-wide panel blocks for the occupancy flags to skip.
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i.saturating_sub(3)..=(i + 3).min(n - 1) {
+            a[(i, j)] = 0.1 * ((i * 31 + j * 17) % 13) as f64 - 0.5;
+        }
+        for j in n - 5..n {
+            a[(i, j)] = 0.05 * ((i * 7 + j) % 11) as f64;
+        }
+    }
+    let mut spd = blocked::gram_with(&a, Engine::Scalar);
+    for i in 0..n {
+        spd[(i, i)] += 2.0 + n as f64;
+    }
+    let mut scalar = Cholesky::new(&spd).unwrap();
+    scalar.factor_into_with(&spd, Engine::Scalar).unwrap();
+    let mut vector = Cholesky::new(&spd).unwrap();
+    vector.factor_into_with(&spd, Engine::Avx2 { fma: false }).unwrap();
+    assert_eq!(bits(scalar.l()), bits(vector.l()));
+}
+
+/// Large-enough matmul/gram to cross the cache-blocking tile size,
+/// deterministic, so the tiled loop seams are pinned too.
+#[test]
+fn blocked_kernels_bitwise_across_tile_seams() {
+    let (m, k, n) = (70, 77, 69);
+    let a = Matrix::from_vec(
+        m,
+        k,
+        (0..m * k).map(|i| ((i * 37 + 11) % 101) as f64 / 101.0 - 0.5).collect(),
+    )
+    .unwrap();
+    let b = Matrix::from_vec(
+        k,
+        n,
+        (0..k * n).map(|i| ((i * 53 + 29) % 97) as f64 / 97.0 - 0.5).collect(),
+    )
+    .unwrap();
+    let c_s = blocked::matmul_with(&a, &b, Engine::Scalar);
+    let c_v = blocked::matmul_with(&a, &b, Engine::Avx2 { fma: false });
+    assert_eq!(bits(&c_s), bits(&c_v));
+    let g_s = blocked::gram_with(&a, Engine::Scalar);
+    let g_v = blocked::gram_with(&a, Engine::Avx2 { fma: false });
+    assert_eq!(bits(&g_s), bits(&g_v));
+}
+
+/// The forced-scalar policy resolves to the scalar engine everywhere,
+/// and AVX2 requests degrade cleanly on hosts without the feature —
+/// the portable-dispatch contract.
+#[test]
+fn policy_resolution_is_portable() {
+    assert_eq!(simd::resolve(simd::SimdPolicy::Scalar), Engine::Scalar);
+    for policy in [
+        simd::SimdPolicy::Auto,
+        simd::SimdPolicy::Avx2,
+        simd::SimdPolicy::Avx2Fma,
+    ] {
+        match simd::resolve(policy) {
+            Engine::Scalar => assert!(!Engine::avx2_available()),
+            Engine::Avx2 { fma } => {
+                assert!(Engine::avx2_available());
+                if fma {
+                    assert!(Engine::fma_available());
+                }
+            }
+        }
+    }
+}

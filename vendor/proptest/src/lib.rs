@@ -201,6 +201,62 @@ impl_tuple_strategy!(
     (A.0, B.1, C.2, D.3),
 );
 
+/// Weighted union of strategies sharing one value type; built by
+/// [`prop_oneof!`].
+pub struct WeightedUnion<T> {
+    total: u64,
+    options: Vec<(u32, Box<dyn Fn(&mut TestRng) -> T>)>,
+}
+
+impl<T> WeightedUnion<T> {
+    /// Builds a union from `(weight, draw)` options; total weight must
+    /// be positive.
+    pub fn new(options: Vec<(u32, Box<dyn Fn(&mut TestRng) -> T>)>) -> Self {
+        let total = options.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        WeightedUnion { total, options }
+    }
+
+    /// Wraps one strategy as a weighted option (macro plumbing; keeps
+    /// heterogeneous strategy types behind one closure type).
+    pub fn option<S>(weight: u32, strategy: S) -> (u32, Box<dyn Fn(&mut TestRng) -> T>)
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        (weight, Box::new(move |rng| strategy.new_value(rng)))
+    }
+}
+
+impl<T> Strategy for WeightedUnion<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(0, self.total);
+        for (weight, draw) in &self.options {
+            if pick < u64::from(*weight) {
+                return draw(rng);
+            }
+            pick -= u64::from(*weight);
+        }
+        unreachable!("weighted pick exceeded total weight")
+    }
+}
+
+/// Picks one of several strategies per draw, mirroring
+/// `proptest::prop_oneof!`; options are either plain strategies
+/// (uniform) or `weight => strategy` pairs.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::WeightedUnion::new(::std::vec![
+            $($crate::WeightedUnion::option($weight as u32, $strategy)),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
+}
+
 /// Types with a canonical "draw anything" strategy, for [`any`].
 pub trait Arbitrary: Sized {
     /// Draws an unconstrained value.
@@ -380,8 +436,8 @@ macro_rules! prop_assume {
 /// One-stop imports, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
-        Just, ProptestConfig, Strategy, TestCaseError,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, Just, ProptestConfig, Strategy, TestCaseError, WeightedUnion,
     };
 }
 
@@ -407,6 +463,12 @@ mod tests {
         fn assume_rejects_cases(n in 0usize..100) {
             prop_assume!(n % 2 == 0);
             prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn oneof_draws_every_option(v in crate::collection::vec(
+            prop_oneof![4 => 0.0f64..1.0, 1 => Just(f64::NAN), 1 => Just(-5.0f64)], 64)) {
+            prop_assert!(v.iter().all(|x| x.is_nan() || *x == -5.0 || (0.0..1.0).contains(x)));
         }
     }
 
