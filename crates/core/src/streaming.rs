@@ -61,6 +61,8 @@ use crate::variance::{
     estimate_variances_from_sigmas, estimate_variances_scratch, GramCache, Phase1Scratch,
     VarianceConfig, VarianceEstimate,
 };
+use bytes::Bytes;
+use losstomo_linalg::simd::cast_bytes_to_f64;
 use losstomo_linalg::{
     givens, lstsq, triangular, Cholesky, CsrMatrix, LinalgError, LstsqBackend, Matrix, PivotedQr,
     SparseQr,
@@ -95,6 +97,31 @@ pub enum WindowMode {
     Exponential(f64),
 }
 
+/// One retained window row: an owned decode, or a zero-copy window of
+/// a wire receive buffer (alignment-checked little-endian `f64` bytes
+/// — [`StreamingCovariance::ingest_wire`] only stores this variant
+/// when the in-place `&[f64]` cast succeeds).
+///
+/// A `Wire` row pins its whole receive buffer (the `Bytes` handle is a
+/// reference-counted window); the buffer is freed once every row cut
+/// from it has been evicted or rewritten.
+#[derive(Debug, Clone)]
+enum StoredRow {
+    Owned(Vec<f64>),
+    Wire(Bytes),
+}
+
+impl StoredRow {
+    #[inline]
+    fn as_slice(&self) -> &[f64] {
+        match self {
+            StoredRow::Owned(v) => v,
+            StoredRow::Wire(b) => cast_bytes_to_f64(b.as_slice())
+                .expect("wire rows are stored only after the alignment check"),
+        }
+    }
+}
+
 /// Streaming accumulator for the covariances of a fixed pair set.
 ///
 /// Feed it one row of log measurements per snapshot with
@@ -115,7 +142,7 @@ pub struct StreamingCovariance {
     /// Evictions since the last exact recentre.
     evictions_since_recentre: usize,
     /// Retained rows, oldest first (empty in exponential mode).
-    rows: VecDeque<Vec<f64>>,
+    rows: VecDeque<StoredRow>,
     /// Rows currently contributing to the running moments.
     count: usize,
     total_ingested: u64,
@@ -233,7 +260,7 @@ impl StreamingCovariance {
         self.comoment.fill(0.0);
         let rows = std::mem::take(&mut self.rows);
         for row in &rows {
-            self.welford_add(row);
+            self.welford_add(row.as_slice());
         }
         self.rows = rows;
     }
@@ -267,6 +294,47 @@ impl StreamingCovariance {
     /// entry per path): `O(n_p + r)` for `r` tracked pairs, plus an
     /// eviction of the oldest row when a sliding window overflows.
     pub fn ingest(&mut self, row: &[f64]) {
+        self.ingest_stored(row, |r| StoredRow::Owned(r.to_vec()));
+    }
+
+    /// Zero-copy variant of [`StreamingCovariance::ingest`]: `row` is
+    /// `n_paths × 8` little-endian `f64` bytes straight off the wire.
+    /// When the buffer is 8-byte aligned (and the host little-endian)
+    /// the row is read in place **and retained by reference** — the
+    /// window stores an O(1) handle to the receive buffer instead of
+    /// copying the row. Otherwise it decodes once and takes the owned
+    /// path. Accumulation and replay are bit-identical either way.
+    ///
+    /// Note the retention trade-off: a wire-backed row pins its whole
+    /// receive buffer until eviction (see
+    /// [`WindowMode::Sliding`]) — callers batching many tenants into
+    /// one buffer amortise this; callers cherry-picking one row from a
+    /// huge buffer may prefer the owned path.
+    ///
+    /// # Panics
+    /// Panics if `row` is not `n_paths × 8` bytes long.
+    pub fn ingest_wire(&mut self, row: &Bytes) {
+        match cast_bytes_to_f64(row.as_slice()) {
+            Some(y) => self.ingest_stored(y, |_| StoredRow::Wire(row.clone())),
+            None => {
+                assert_eq!(
+                    row.as_slice().len() % 8,
+                    0,
+                    "wire row length must be a multiple of 8 bytes"
+                );
+                let decoded: Vec<f64> = row
+                    .as_slice()
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+                    .collect();
+                self.ingest_stored(&decoded, |r| StoredRow::Owned(r.to_vec()));
+            }
+        }
+    }
+
+    /// Shared ingest body: accumulate `row` and retain it via `store`
+    /// (which chooses owned vs wire-backed storage).
+    fn ingest_stored(&mut self, row: &[f64], store: impl FnOnce(&[f64]) -> StoredRow) {
         assert_eq!(
             row.len(),
             self.n_paths,
@@ -278,15 +346,15 @@ impl StreamingCovariance {
         match self.mode {
             WindowMode::Exponential(alpha) => self.ingest_ewma(row, alpha),
             WindowMode::Unbounded => {
-                self.rows.push_back(row.to_vec());
+                self.rows.push_back(store(row));
                 self.welford_add(row);
             }
             WindowMode::Sliding(w) => {
-                self.rows.push_back(row.to_vec());
+                self.rows.push_back(store(row));
                 self.welford_add(row);
                 if self.rows.len() > w {
                     let old = self.rows.pop_front().expect("window overflowed");
-                    self.welford_remove(&old);
+                    self.welford_remove(old.as_slice());
                     self.evictions_since_recentre += 1;
                     if self.recentre_every > 0
                         && self.evictions_since_recentre >= self.recentre_every
@@ -419,7 +487,7 @@ impl StreamingCovariance {
             !matches!(self.mode, WindowMode::Exponential(_)),
             "exact replay is unavailable under exponential forgetting"
         );
-        let refs: Vec<&[f64]> = self.rows.iter().map(|r| r.as_slice()).collect();
+        let refs: Vec<&[f64]> = self.rows.iter().map(StoredRow::as_slice).collect();
         CenteredMeasurements::from_row_refs(&refs)
     }
 
@@ -530,15 +598,18 @@ impl StreamingCovariance {
             "pair index out of range for {new_n_paths} paths"
         );
         let now = self.total_ingested;
-        // Remap retained rows to the new numbering.
+        // Remap retained rows to the new numbering. Wire-backed rows
+        // turn into owned rows here (their receive buffer describes
+        // the old path numbering and is released).
         for row in self.rows.iter_mut() {
             let mut new_row = vec![0.0; new_n_paths];
+            let old_row = row.as_slice();
             for (old_i, &mapped) in id_map.iter().enumerate() {
                 if let Some(new_i) = mapped {
-                    new_row[new_i.index()] = row[old_i];
+                    new_row[new_i.index()] = old_row[old_i];
                 }
             }
-            *row = new_row;
+            *row = StoredRow::Owned(new_row);
         }
         // Carry surviving pairs' state; restart the rest at "now".
         let old_comoment = std::mem::take(&mut self.comoment);
@@ -610,7 +681,7 @@ impl StreamingCovariance {
             if self.rows.len() - o < 2 {
                 continue; // warming: no sample covariance yet
             }
-            centered.recentre_from_iter(self.rows.iter().skip(o).map(|r| r.as_slice()));
+            centered.recentre_from_iter(self.rows.iter().skip(o).map(StoredRow::as_slice));
             sub_pairs.clear();
             sub_pairs.extend(slots.iter().map(|&s| self.pairs[s]));
             centered.pair_covariances_into(&sub_pairs, &mut sub_out);
@@ -668,6 +739,14 @@ pub struct OnlineConfig {
     /// Run a Phase-1 + Phase-2-structure refresh every `k ≥ 1` ingests.
     /// Between refreshes, Phase 2 reuses the cached column set and
     /// factorisation with each new snapshot's measurements (exact).
+    ///
+    /// `usize::MAX` is the **manual-refresh sentinel**: ingest never
+    /// auto-refreshes — not even the warm-up attempts it otherwise
+    /// makes while no model exists — so ingest is pure covariance
+    /// accumulation until [`OnlineEstimator::refresh`] is called
+    /// explicitly. High-rate feeds (the `fleet_ingest` service-edge
+    /// harness) use this to keep Phase 1/2 entirely off the ingest
+    /// hot path.
     pub refresh_every: usize,
     /// Phase-1 settings (the cached Gram path requires the default
     /// [`LstsqBackend::NormalEquations`] backend).
@@ -822,6 +901,9 @@ pub struct OnlineEstimator {
     /// Refresh workspace (dropped and rebuilt every refresh under
     /// [`ScratchMode::AllocPerRefresh`]).
     scratch: RefreshScratch,
+    /// Reusable log-rate row for [`OnlineEstimator::ingest`], so the
+    /// owned-snapshot path allocates nothing per snapshot.
+    row_scratch: Vec<f64>,
 }
 
 /// The memoized factorisation of the reduced system `R*`, reused while
@@ -950,6 +1032,7 @@ impl OnlineEstimator {
             last_timing: None,
             warmup_error: None,
             scratch: RefreshScratch::default(),
+            row_scratch: Vec::new(),
         }
     }
 
@@ -1027,10 +1110,16 @@ impl OnlineEstimator {
     }
 
     /// Ingests one simulated/measured snapshot: extracts the log rates
-    /// once, updates the covariance accumulator, refreshes per the
-    /// cadence, and scores the snapshot against the current model.
+    /// once (into an internal scratch row reused across snapshots — no
+    /// per-snapshot allocation), updates the covariance accumulator,
+    /// refreshes per the cadence, and scores the snapshot against the
+    /// current model.
     pub fn ingest(&mut self, snapshot: &Snapshot) -> Result<OnlineUpdate, LinalgError> {
-        self.ingest_log_rates(&snapshot.log_rates())
+        let mut row = std::mem::take(&mut self.row_scratch);
+        snapshot.log_rates_into(&mut row);
+        let result = self.ingest_log_rates(&row);
+        self.row_scratch = row;
+        result
     }
 
     /// [`OnlineEstimator::ingest`] for pre-extracted log measurements
@@ -1043,6 +1132,41 @@ impl OnlineEstimator {
     /// moments are unpoisoned and the estimator keeps serving its
     /// current model.
     pub fn ingest_log_rates(&mut self, y: &[f64]) -> Result<OnlineUpdate, LinalgError> {
+        self.validate_row(y)?;
+        self.cov.ingest(y);
+        self.finish_ingest(y)
+    }
+
+    /// Zero-copy wire ingest: `y` is `num_paths × 8` little-endian
+    /// `f64` bytes straight off a receive buffer. On an aligned buffer
+    /// the row is validated and accumulated **in place** and retained
+    /// by reference (see [`StreamingCovariance::ingest_wire`] for the
+    /// buffer-pinning trade-off); a misaligned buffer (or a big-endian
+    /// host) decodes once through the internal scratch row. Results
+    /// are bit-identical to [`OnlineEstimator::ingest_log_rates`] fed
+    /// the decoded row, and the same typed-rejection contract holds:
+    /// mis-sized or non-finite rows leave the estimator untouched.
+    pub fn ingest_wire_row(&mut self, row: &Bytes) -> Result<OnlineUpdate, LinalgError> {
+        let Some(y) = cast_bytes_to_f64(row.as_slice()) else {
+            let mut decoded = std::mem::take(&mut self.row_scratch);
+            decoded.clear();
+            decoded.extend(
+                row.as_slice()
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact(8)"))),
+            );
+            let result = self.ingest_log_rates(&decoded);
+            self.row_scratch = decoded;
+            return result;
+        };
+        self.validate_row(y)?;
+        self.cov.ingest_wire(row);
+        self.finish_ingest(y)
+    }
+
+    /// The typed-rejection gate shared by every ingest entry point:
+    /// runs before any state is touched.
+    fn validate_row(&self, y: &[f64]) -> Result<(), LinalgError> {
         if y.len() != self.red.num_paths() {
             return Err(LinalgError::DimensionMismatch(format!(
                 "snapshot covers {} paths, topology has {}",
@@ -1053,9 +1177,17 @@ impl OnlineEstimator {
         if let Some(index) = y.iter().position(|v| !v.is_finite()) {
             return Err(LinalgError::NonFinite { index });
         }
-        self.cov.ingest(y);
+        Ok(())
+    }
+
+    /// Post-accumulation half of an ingest: cadenced refresh, then
+    /// score `y` against the current model.
+    fn finish_ingest(&mut self, y: &[f64]) -> Result<OnlineUpdate, LinalgError> {
         self.since_refresh += 1;
-        let due = self.variances.is_none() || self.since_refresh >= self.cfg.refresh_every;
+        // `usize::MAX` = manual refresh only: skip the warm-up
+        // attempts too, so ingest stays pure accumulation.
+        let due = self.cfg.refresh_every != usize::MAX
+            && (self.variances.is_none() || self.since_refresh >= self.cfg.refresh_every);
         let mut refreshed = false;
         if due && self.cov.len() >= 2 {
             match self.refresh() {
@@ -1709,6 +1841,134 @@ mod tests {
         let window = rows[rows.len() - w..].to_vec();
         let batch = CenteredMeasurements::from_rows(window).pair_covariances(&pairs);
         assert_eq!(sc.exact_covariances(), batch);
+    }
+
+    /// Encodes `rows` as contiguous little-endian `f64` bytes and
+    /// returns the buffer plus one zero-copy window per row.
+    fn wire_rows(rows: &[Vec<f64>]) -> Vec<Bytes> {
+        let width = rows[0].len() * 8;
+        let mut buf = Vec::with_capacity(rows.len() * width);
+        for row in rows {
+            for v in row {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let buf = Bytes::from(buf);
+        (0..rows.len())
+            .map(|r| buf.slice(r * width..(r + 1) * width))
+            .collect()
+    }
+
+    #[test]
+    fn wire_ingest_is_bit_identical_to_owned_ingest() {
+        // Same rows through `ingest` (owned) and `ingest_wire`
+        // (retained by reference): running moments, exact replay, and
+        // sliding-window eviction must all agree bitwise.
+        let rows = synthetic_rows(20, 4);
+        let pairs = all_pairs(4);
+        for mode in [WindowMode::Unbounded, WindowMode::Sliding(6)] {
+            let mut owned = StreamingCovariance::new(4, pairs.clone(), mode);
+            let mut wire = StreamingCovariance::new(4, pairs.clone(), mode);
+            for (row, b) in rows.iter().zip(wire_rows(&rows)) {
+                owned.ingest(row);
+                wire.ingest_wire(&b);
+            }
+            assert_eq!(owned.len(), wire.len());
+            assert_eq!(owned.covariances(), wire.covariances());
+            assert_eq!(owned.exact_covariances(), wire.exact_covariances());
+            assert_eq!(owned.means(), wire.means());
+        }
+    }
+
+    #[test]
+    fn misaligned_wire_rows_decode_to_the_same_bits() {
+        // A one-byte-shifted buffer defeats the in-place cast; the
+        // decode fallback must land on identical accumulator state.
+        let rows = synthetic_rows(8, 3);
+        let pairs = all_pairs(3);
+        let width = 3 * 8;
+        let mut buf = vec![0u8; 1]; // poison the alignment
+        for row in &rows {
+            for v in row {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let buf = Bytes::from(buf);
+        let mut owned = StreamingCovariance::new(3, pairs.clone(), WindowMode::Unbounded);
+        let mut wire = StreamingCovariance::new(3, pairs.clone(), WindowMode::Unbounded);
+        for (r, row) in rows.iter().enumerate() {
+            owned.ingest(row);
+            wire.ingest_wire(&buf.slice(1 + r * width..1 + (r + 1) * width));
+        }
+        assert_eq!(owned.covariances(), wire.covariances());
+        assert_eq!(owned.exact_covariances(), wire.exact_covariances());
+    }
+
+    #[test]
+    fn churn_remap_rewrites_wire_rows() {
+        // `apply_churn` remaps retained rows in place; wire-backed
+        // rows must convert to owned remapped rows and keep replaying
+        // identically to an accumulator that ingested owned rows.
+        let rows = synthetic_rows(10, 3);
+        let pairs = vec![(0, 0), (1, 1), (0, 1)];
+        let mut owned = StreamingCovariance::new(3, pairs.clone(), WindowMode::Sliding(6));
+        let mut wire = StreamingCovariance::new(3, pairs.clone(), WindowMode::Sliding(6));
+        for (row, b) in rows.iter().zip(wire_rows(&rows)) {
+            owned.ingest(row);
+            wire.ingest_wire(&b);
+        }
+        // Drop path 1: old paths {0,2} become new paths {0,1}.
+        let id_map = vec![Some(PathId(0)), None, Some(PathId(1))];
+        let new_pairs = vec![(0, 0), (1, 1), (0, 1)];
+        let carry = vec![Some(0), None, None];
+        owned.apply_churn(2, new_pairs.clone(), &carry, &id_map);
+        wire.apply_churn(2, new_pairs, &carry, &id_map);
+        assert_eq!(owned.covariances(), wire.covariances());
+        assert_eq!(owned.exact_covariances(), wire.exact_covariances());
+        for k in 0..8 {
+            let post = [k as f64 * 0.4, (k % 3) as f64 * 1.1];
+            owned.ingest(&post);
+            wire.ingest(&post);
+        }
+        assert_eq!(owned.exact_covariances(), wire.exact_covariances());
+        assert!(owned.is_churn_free() && wire.is_churn_free());
+    }
+
+    #[test]
+    fn estimator_wire_rows_match_owned_rows_bitwise() {
+        // Full `OnlineEstimator` equivalence: wire-fed and slice-fed
+        // estimators agree on variances and congested sets, and typed
+        // rejection leaves the wire-fed estimator untouched.
+        let red = fig2();
+        let ms = simulate(&red, 40, 97);
+        let rows: Vec<Vec<f64>> = ms.snapshots.iter().map(|s| s.log_rates()).collect();
+        let mut by_slice = OnlineEstimator::new(&red, OnlineConfig::default());
+        let mut by_wire = OnlineEstimator::new(&red, OnlineConfig::default());
+        for (row, b) in rows.iter().zip(wire_rows(&rows)) {
+            let a = by_slice.ingest_log_rates(row).unwrap();
+            let b = by_wire.ingest_wire_row(&b).unwrap();
+            assert_eq!(a.congested, b.congested);
+        }
+        assert_eq!(
+            by_slice.variances().unwrap().v,
+            by_wire.variances().unwrap().v
+        );
+        // Mis-sized row: typed error, state untouched.
+        let before = by_wire.variances().unwrap().v.clone();
+        let short = wire_rows(&[vec![1.0; 2]]).remove(0);
+        assert!(matches!(
+            by_wire.ingest_wire_row(&short),
+            Err(LinalgError::DimensionMismatch(_))
+        ));
+        // Non-finite row: typed error, state untouched.
+        let mut bad = rows[0].clone();
+        bad[1] = f64::NAN;
+        let bad = wire_rows(&[bad]).remove(0);
+        assert!(matches!(
+            by_wire.ingest_wire_row(&bad),
+            Err(LinalgError::NonFinite { index: 1 })
+        ));
+        assert_eq!(by_wire.variances().unwrap().v, before);
     }
 
     #[test]

@@ -38,6 +38,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod edge;
+
+pub use edge::{
+    DemuxAck, DemuxConfig, DemuxHandle, DemuxStats, FleetQueryReport, RowRejection,
+    TenantQuery, WireIngestMode, WireIngestReport,
+};
+
+use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use losstomo_core::budget::PairBudget;
 use losstomo_core::streaming::{OnlineConfig, OnlineEstimator};
@@ -244,14 +252,43 @@ pub struct TenantStats {
     pub quarantined: bool,
 }
 
+/// One unit of work in a tenant queue. The service edge enqueues
+/// decoded wire rows; the library API enqueues owned snapshots. Either
+/// way the payload reaching the estimator is the snapshot's log-rate
+/// row, bit for bit — which is what keeps wire ingest and direct
+/// enqueue interchangeable.
+enum QueueItem {
+    /// An owned snapshot ([`Fleet::enqueue`] / [`Fleet::ingest_batch`]).
+    Snapshot(Snapshot),
+    /// A zero-copy wire row: `path_count × 8` little-endian `f64`
+    /// bytes, an O(1) reference-counted window of the receive buffer.
+    WireRow {
+        /// The row bytes (alias of the batch buffer).
+        data: Bytes,
+        /// Wire sequence number of the snapshot.
+        wire_seq: u64,
+    },
+    /// An owned, already-decoded log-rate row (copying wire mode, JSON
+    /// fallback).
+    OwnedRow {
+        /// The decoded row.
+        data: Vec<f64>,
+        /// Wire sequence number, when the row came off the wire.
+        wire_seq: Option<u64>,
+    },
+}
+
 /// One registered tenant: its estimator plus the receive side of its
 /// snapshot queue.
 struct Tenant {
     name: String,
     estimator: OnlineEstimator,
-    rx: Receiver<Snapshot>,
+    rx: Receiver<QueueItem>,
     ingested: u64,
     errors: u64,
+    /// Highest wire sequence number ingested so far (None until the
+    /// first wire row) — the staleness signal of [`Fleet::query`].
+    last_wire_seq: Option<u64>,
     /// Set when an ingest panicked: the estimator may hold broken
     /// invariants, so it is never touched again (until
     /// [`Fleet::revive_tenant`] rebuilds it).
@@ -274,14 +311,30 @@ impl Tenant {
         if self.quarantined {
             return;
         }
-        while let Ok(snapshot) = self.rx.try_recv() {
+        while let Ok(item) = self.rx.try_recv() {
             self.ingested += 1;
+            match &item {
+                QueueItem::WireRow { wire_seq, .. } => self.last_wire_seq = Some(*wire_seq),
+                QueueItem::OwnedRow {
+                    wire_seq: Some(seq),
+                    ..
+                } => self.last_wire_seq = Some(*seq),
+                _ => {}
+            }
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 #[cfg(test)]
                 if self.panic_at == Some(self.ingested) {
                     panic!("injected ingest panic at snapshot {}", self.ingested);
                 }
-                self.estimator.ingest(&snapshot)
+                match &item {
+                    QueueItem::Snapshot(snapshot) => self.estimator.ingest(snapshot),
+                    QueueItem::OwnedRow { data, .. } => self.estimator.ingest_log_rates(data),
+                    // Zero-copy end to end: the estimator reads the
+                    // row straight out of the receive buffer and
+                    // retains it by reference (misaligned buffers
+                    // decode once through the estimator's scratch).
+                    QueueItem::WireRow { data, .. } => self.estimator.ingest_wire_row(data),
+                }
             }));
             match outcome {
                 Ok(Ok(update)) => {
@@ -363,7 +416,10 @@ pub struct Fleet {
     tenants: Vec<Tenant>,
     /// Send sides of the tenant queues, indexable with `&self` so
     /// producers can enqueue without exclusive access to the registry.
-    senders: Vec<Sender<Snapshot>>,
+    senders: Vec<Sender<QueueItem>>,
+    /// Recycled per-shard event buffers for [`Fleet::poll_events_into`]
+    /// — a steady-state drain allocates no event vectors.
+    event_pool: Vec<Vec<FleetEvent>>,
 }
 
 impl Fleet {
@@ -375,6 +431,7 @@ impl Fleet {
             cfg,
             tenants: Vec::new(),
             senders: Vec::new(),
+            event_pool: Vec::new(),
         }
     }
 
@@ -397,6 +454,7 @@ impl Fleet {
             rx,
             ingested: 0,
             errors: 0,
+            last_wire_seq: None,
             quarantined: false,
             #[cfg(test)]
             panic_at: None,
@@ -491,7 +549,7 @@ impl Fleet {
             return Err(FleetError::Quarantined(id));
         }
         self.validate_snapshot(id, &snapshot)?;
-        match tx.try_send(snapshot) {
+        match tx.try_send(QueueItem::Snapshot(snapshot)) {
             Ok(()) => Ok(()),
             Err(TrySendError::Full(_)) => Err(FleetError::QueueFull(id)),
             Err(TrySendError::Disconnected(_)) => Err(FleetError::UnknownTenant(id)),
@@ -590,20 +648,25 @@ impl Fleet {
         })
     }
 
-    /// Drains every tenant queue through the sharded worker pool and
-    /// returns the produced events in `(tenant, seq)` order.
+    /// Drains every tenant queue through the sharded worker pool,
+    /// **appending** the produced events to `events` — the caller owns
+    /// (and reuses) the buffer, so a steady-state polling loop performs
+    /// no per-drain event allocation. Per-shard scratch buffers are
+    /// recycled from an internal pool for the same reason. The appended
+    /// range is sorted in `(tenant, seq)` order; whatever was already
+    /// in `events` is left untouched. Returns how many events were
+    /// appended.
     ///
     /// Tenant `i` is pinned to shard `i mod workers`; each shard's
     /// worker ingests its tenants' snapshots in arrival order, so
     /// per-tenant results are identical at any worker count.
-    pub fn drain(&mut self) -> Vec<FleetEvent> {
+    pub fn poll_events_into(&mut self, events: &mut Vec<FleetEvent>) -> usize {
+        let start = events.len();
         let workers = self.workers();
-        let mut events = if workers <= 1 || self.tenants.len() <= 1 {
-            let mut events = Vec::new();
+        if workers <= 1 || self.tenants.len() <= 1 {
             for (i, tenant) in self.tenants.iter_mut().enumerate() {
-                tenant.drain(TenantId(i), &mut events);
+                tenant.drain(TenantId(i), events);
             }
-            events
         } else {
             // Deal the tenants out to their shards (round-robin by id,
             // so the assignment is stable as tenants are added).
@@ -612,28 +675,49 @@ impl Fleet {
             for (i, tenant) in self.tenants.iter_mut().enumerate() {
                 shards[i % workers].push((TenantId(i), tenant));
             }
-            crossbeam::scope(|scope| {
+            let pool = &mut self.event_pool;
+            let mut filled: Vec<Vec<FleetEvent>> = crossbeam::scope(|scope| {
                 let handles: Vec<_> = shards
                     .into_iter()
                     .map(|mut shard| {
+                        let mut buf = pool.pop().unwrap_or_default();
+                        buf.clear();
                         scope.spawn(move |_| {
-                            let mut events = Vec::new();
                             for (id, tenant) in shard.iter_mut() {
-                                tenant.drain(*id, &mut events);
+                                tenant.drain(*id, &mut buf);
                             }
-                            events
+                            buf
                         })
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .flat_map(|h| h.join().expect("fleet worker panicked"))
+                    .map(|h| h.join().expect("fleet worker panicked"))
                     .collect()
             })
-            .expect("fleet worker pool panicked")
-        };
-        events.sort_by_key(|e| (e.tenant, e.seq));
+            .expect("fleet worker pool panicked");
+            for buf in &mut filled {
+                events.append(buf);
+            }
+            self.event_pool.append(&mut filled);
+        }
+        events[start..].sort_by_key(|e| (e.tenant, e.seq));
+        events.len() - start
+    }
+
+    /// Drains every tenant queue and returns the produced events in
+    /// `(tenant, seq)` order. Thin allocating wrapper over
+    /// [`Fleet::poll_events_into`] — polling loops that care about the
+    /// allocation should hold their own buffer and call that instead.
+    pub fn poll_events(&mut self) -> Vec<FleetEvent> {
+        let mut events = Vec::new();
+        self.poll_events_into(&mut events);
         events
+    }
+
+    /// Alias of [`Fleet::poll_events`], kept as the historical name.
+    pub fn drain(&mut self) -> Vec<FleetEvent> {
+        self.poll_events()
     }
 
     /// Batch ingest: enqueues every `(tenant, snapshot)` pair, draining
@@ -660,22 +744,22 @@ impl Fleet {
                 .senders
                 .get(id.0)
                 .ok_or(FleetError::UnknownTenant(id))?
-                .try_send(snapshot);
+                .try_send(QueueItem::Snapshot(snapshot));
             match first {
                 Ok(()) => {}
-                Err(TrySendError::Full(snapshot)) => {
+                Err(TrySendError::Full(item)) => {
                     // Backpressure: service the queues, then retry.
                     // The drain left every live tenant's queue empty
                     // and capacity is ≥ 1, so the retry cannot fail —
                     // unless this very drain quarantined the tenant
                     // (its queue keeps its leftovers), which must
                     // surface rather than silently drop the snapshot.
-                    events.append(&mut self.drain());
+                    self.poll_events_into(&mut events);
                     if self.tenants[id.0].quarantined {
                         return Err(FleetError::Quarantined(id));
                     }
                     self.senders[id.0]
-                        .try_send(snapshot)
+                        .try_send(item)
                         .map_err(|_| FleetError::QueueFull(id))?;
                 }
                 Err(TrySendError::Disconnected(_)) => {
@@ -683,9 +767,104 @@ impl Fleet {
                 }
             }
         }
-        events.append(&mut self.drain());
+        self.poll_events_into(&mut events);
         Ok(events)
     }
+
+    /// Like [`Fleet::ingest_batch`], but **partial-accept**: a pair
+    /// that cannot be enqueued (unknown or quarantined tenant,
+    /// malformed snapshot, queue still full after a drain) is recorded
+    /// — with its batch index — and skipped, instead of aborting the
+    /// remainder of the batch. The report accounts for every input
+    /// pair: `accepted + rejections.len()` equals the batch length.
+    pub fn ingest_batch_report(
+        &mut self,
+        batch: impl IntoIterator<Item = (TenantId, Snapshot)>,
+    ) -> BatchReport {
+        let mut report = BatchReport::default();
+        for (index, (id, snapshot)) in batch.into_iter().enumerate() {
+            let verdict = self.check_tenant(id).and_then(|()| {
+                self.validate_snapshot(id, &snapshot)
+            });
+            if let Err(error) = verdict {
+                report.rejections.push(BatchRejection { index, tenant: id, error });
+                continue;
+            }
+            match self.senders[id.0].try_send(QueueItem::Snapshot(snapshot)) {
+                Ok(()) => report.accepted += 1,
+                Err(TrySendError::Full(item)) => {
+                    report.backpressure_drains += 1;
+                    self.poll_events_into(&mut report.events);
+                    let retry = if self.tenants[id.0].quarantined {
+                        Err(FleetError::Quarantined(id))
+                    } else {
+                        self.senders[id.0]
+                            .try_send(item)
+                            .map_err(|_| FleetError::QueueFull(id))
+                    };
+                    match retry {
+                        Ok(()) => report.accepted += 1,
+                        Err(error) => report.rejections.push(BatchRejection {
+                            index,
+                            tenant: id,
+                            error,
+                        }),
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    report.rejections.push(BatchRejection {
+                        index,
+                        tenant: id,
+                        error: FleetError::UnknownTenant(id),
+                    });
+                }
+            }
+        }
+        self.poll_events_into(&mut report.events);
+        report
+    }
+
+    /// Typed gate shared by the enqueue paths: the tenant must exist
+    /// and not be quarantined.
+    fn check_tenant(&self, id: TenantId) -> Result<(), FleetError> {
+        let t = self
+            .tenants
+            .get(id.0)
+            .ok_or(FleetError::UnknownTenant(id))?;
+        if t.quarantined {
+            return Err(FleetError::Quarantined(id));
+        }
+        Ok(())
+    }
+}
+
+/// One rejected entry of a partial-accept batch — which input it was
+/// (`index` into the batch, in iteration order), whom it was for, and
+/// the typed reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRejection {
+    /// Zero-based index of the rejected pair within the batch.
+    pub index: usize,
+    /// The tenant the pair was aimed at.
+    pub tenant: TenantId,
+    /// Why it was rejected.
+    pub error: FleetError,
+}
+
+/// Accounting of one [`Fleet::ingest_batch_report`] call. Every input
+/// pair is either counted in `accepted` or listed in `rejections` —
+/// nothing is silently dropped.
+#[derive(Debug, Default)]
+pub struct BatchReport {
+    /// Pairs that entered their tenant queue (and were drained).
+    pub accepted: usize,
+    /// Pairs that were refused, with index and typed reason.
+    pub rejections: Vec<BatchRejection>,
+    /// Events produced by the intermediate and final drains, in drain
+    /// order (within each drain, `(tenant, seq)`-sorted).
+    pub events: Vec<FleetEvent>,
+    /// How many intermediate drains backpressure forced.
+    pub backpressure_drains: usize,
 }
 
 #[cfg(test)]

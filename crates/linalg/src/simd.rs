@@ -395,6 +395,38 @@ pub fn rotate_span(
     }
 }
 
+/// Reinterprets a little-endian byte slice as `&[f64]` without
+/// copying. Returns `None` — and the caller must fall back to a
+/// copying decode — when the platform is big-endian, the length is not
+/// a multiple of 8, or the slice start is not 8-byte aligned. The
+/// wire decoder keeps payloads 8-aligned relative to the buffer start,
+/// but the buffer's own allocation alignment is the allocator's
+/// business, hence the runtime check instead of an assert.
+pub fn cast_bytes_to_f64(bytes: &[u8]) -> Option<&[f64]> {
+    #[cfg(target_endian = "little")]
+    {
+        if !bytes.len().is_multiple_of(8) {
+            return None;
+        }
+        // SAFETY: `align_to` itself is safe; the unsafe contract is
+        // that any byte pattern must be a valid target value, which
+        // holds for f64 (every bit pattern is a float, possibly NaN —
+        // finiteness is validated downstream). Little-endian byte
+        // order matches the wire format, checked by the cfg above.
+        let (head, mid, tail) = unsafe { bytes.align_to::<f64>() };
+        if head.is_empty() && tail.is_empty() {
+            Some(mid)
+        } else {
+            None
+        }
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        let _ = bytes;
+        None
+    }
+}
+
 #[cfg(target_arch = "x86_64")]
 mod x86 {
     //! The `std::arch` kernel bodies. Every pair of `*_plain`/`*_fma`
@@ -947,6 +979,46 @@ mod x86 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cast_bytes_roundtrips_f64_bits() {
+        let values = [0.0f64, -1.5, f64::MIN_POSITIVE, 1e300, -0.0];
+        let mut bytes: Vec<u8> = Vec::new();
+        for v in values {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        // A Vec<u8> allocation is not guaranteed 8-aligned, so probe
+        // both the aligned and the misaligned outcome honestly.
+        match cast_bytes_to_f64(&bytes) {
+            Some(cast) => {
+                assert_eq!(cast.len(), values.len());
+                for (c, v) in cast.iter().zip(values) {
+                    assert_eq!(c.to_bits(), v.to_bits());
+                }
+            }
+            None => assert!(!bytes.as_ptr().cast::<f64>().is_aligned()),
+        }
+        // An f64-backed buffer is always 8-aligned: cast must succeed.
+        let backing: Vec<f64> = values.to_vec();
+        let raw: &[u8] = unsafe {
+            std::slice::from_raw_parts(backing.as_ptr().cast::<u8>(), backing.len() * 8)
+        };
+        let cast = cast_bytes_to_f64(raw).expect("f64-backed buffer is aligned");
+        assert_eq!(cast.len(), values.len());
+    }
+
+    #[test]
+    fn cast_bytes_rejects_ragged_and_misaligned() {
+        assert!(cast_bytes_to_f64(&[0u8; 7]).is_none());
+        assert!(cast_bytes_to_f64(&[0u8; 9]).is_none());
+        let backing = [0.0f64; 3];
+        let raw: &[u8] =
+            unsafe { std::slice::from_raw_parts(backing.as_ptr().cast::<u8>(), 24) };
+        // Offset by one byte: start misaligned even though len % 8 == 0
+        // after trimming the tail too.
+        assert!(cast_bytes_to_f64(&raw[1..17]).is_none());
+        assert!(cast_bytes_to_f64(&[]).map(<[f64]>::len) == Some(0));
+    }
 
     #[test]
     fn policy_parsing() {

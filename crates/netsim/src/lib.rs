@@ -18,7 +18,10 @@
 //! * [`snapshot`] — measurement containers and ground truth;
 //! * [`packet`] — the 40-byte UDP probe wire format of Section 7.1;
 //! * [`traceroute`] — topology discovery with anonymous routers and
-//!   unresolved interface aliases.
+//!   unresolved interface aliases;
+//! * [`wirebridge`] — glue from snapshot streams to the service-edge
+//!   batch wire format (`losstomo-wire`), with per-tenant sequence
+//!   tracking for loadgen.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +36,7 @@ pub mod packet;
 pub mod scenario;
 pub mod snapshot;
 pub mod traceroute;
+pub mod wirebridge;
 
 pub use engine::{
     simulate_run, simulate_run_batch, simulate_snapshot, simulate_stream, ChainAdvance,

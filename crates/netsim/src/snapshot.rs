@@ -72,10 +72,24 @@ impl Snapshot {
     /// Log measurements `Y_i = log φ̂_i` (natural log), the left-hand
     /// side of the paper's equation (3).
     pub fn log_rates(&self) -> Vec<f64> {
-        self.path_transmission_rates()
-            .iter()
-            .map(|&phi| phi.ln())
-            .collect()
+        let mut out = Vec::new();
+        self.log_rates_into(&mut out);
+        out
+    }
+
+    /// Allocation-free [`Snapshot::log_rates`]: clears `out` and fills
+    /// it in place, so ingest loops and wire encoders can reuse one
+    /// scratch row across snapshots. Produces bit-identical values to
+    /// `log_rates()`.
+    pub fn log_rates_into(&self, out: &mut Vec<f64>) {
+        let s = self.probes as f64;
+        let floor = 0.5 / s;
+        out.clear();
+        out.extend(
+            self.path_received
+                .iter()
+                .map(|&r| (r as f64 / s).max(floor).ln()),
+        );
     }
 
     /// End-to-end loss rate per path (`1 − φ̂_i`, without flooring).
@@ -150,6 +164,18 @@ mod tests {
         let s = snap();
         assert!(s.log_rates().iter().all(|y| y.is_finite()));
         assert_eq!(s.log_rates()[0], 0.0);
+    }
+
+    #[test]
+    fn log_rates_into_matches_allocating_path() {
+        let s = snap();
+        let mut scratch = vec![42.0; 17]; // stale contents must be cleared
+        s.log_rates_into(&mut scratch);
+        let alloc = s.log_rates();
+        assert_eq!(scratch.len(), alloc.len());
+        for (a, b) in scratch.iter().zip(&alloc) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

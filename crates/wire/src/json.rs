@@ -1,0 +1,86 @@
+//! JSON fallback codec: the slow-path baseline the binary format is
+//! benchmarked against, and an escape hatch for debugging (frames are
+//! human-readable) or for clients without the binary encoder.
+//!
+//! Values round-trip through decimal text, so this path is **not**
+//! guaranteed bit-exact for every `f64` — the bit-identity contract
+//! (wire ingest ≡ direct enqueue) is a property of the binary format
+//! only.
+
+use crate::WireError;
+use serde::{Deserialize, Serialize};
+
+/// JSON counterpart of one wire frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JsonFrame {
+    /// Wire tenant id (the fleet's dense tenant index).
+    pub tenant: u32,
+    /// Sequence number of `rows[0]`; row `r` carries `base_seq + r`.
+    pub base_seq: u64,
+    /// Log-rate rows, one per snapshot.
+    pub rows: Vec<Vec<f64>>,
+}
+
+/// JSON counterpart of one wire batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JsonBatch {
+    /// Frames in wire order.
+    pub frames: Vec<JsonFrame>,
+}
+
+impl JsonBatch {
+    /// Encodes to a JSON string.
+    pub fn encode(&self) -> Result<String, WireError> {
+        serde_json::to_string(self).map_err(|e| WireError::Json {
+            message: e.to_string(),
+        })
+    }
+
+    /// Decodes from a JSON string. Shape errors (missing fields, wrong
+    /// types) surface as [`WireError::Json`]; ragged or non-finite
+    /// rows are the ingest layer's validation concern, exactly as for
+    /// the binary path.
+    pub fn decode(text: &str) -> Result<JsonBatch, WireError> {
+        serde_json::from_str(text).map_err(|e| WireError::Json {
+            message: e.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let batch = JsonBatch {
+            frames: vec![
+                JsonFrame {
+                    tenant: 3,
+                    base_seq: 41,
+                    rows: vec![vec![-0.5, -0.25], vec![-1.0, -2.0]],
+                },
+                JsonFrame {
+                    tenant: 0,
+                    base_seq: 0,
+                    rows: vec![vec![-0.125]],
+                },
+            ],
+        };
+        let text = batch.encode().expect("encode");
+        let back = JsonBatch::decode(&text).expect("decode");
+        assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn malformed_text_is_typed() {
+        assert!(matches!(
+            JsonBatch::decode("{not json"),
+            Err(WireError::Json { .. })
+        ));
+        assert!(matches!(
+            JsonBatch::decode("{\"frames\": 7}"),
+            Err(WireError::Json { .. })
+        ));
+    }
+}

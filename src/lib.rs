@@ -22,10 +22,16 @@
 //!   Deng-style fast solver, first-moment), the streaming
 //!   [`core::streaming::OnlineEstimator`], baselines, metrics and
 //!   analyses;
+//! * [`wire`] — the framed binary snapshot wire format of the service
+//!   edge: batch encoder, zero-copy [`wire::WireBatch`] parser whose
+//!   row views alias the input buffer, CRC32 integrity, and the
+//!   `serde_json` fallback codec;
 //! * [`fleet`] — multi-tenant online inference: a [`fleet::Fleet`] of
 //!   independent estimators behind bounded per-tenant snapshot queues,
 //!   drained by a sharded worker pool, with congested-set change
-//!   events per tenant.
+//!   events per tenant, wire-batch ingest
+//!   ([`fleet::Fleet::ingest_wire_batch`]), a frame demux thread, and
+//!   the [`fleet::Fleet::query`] stats surface.
 //!
 //! See `ARCHITECTURE.md` at the repository root for the crate
 //! dependency graph, the batch vs streaming data flow, and a
@@ -119,6 +125,7 @@ pub use losstomo_fleet as fleet;
 pub use losstomo_linalg as linalg;
 pub use losstomo_netsim as netsim;
 pub use losstomo_topology as topology;
+pub use losstomo_wire as wire;
 
 /// A prepared measurement system: the routed paths, the alias-reduced
 /// topology (with the shared `RoutingMatrix`), and the augmented
@@ -183,6 +190,10 @@ pub mod prelude {
     pub use losstomo_topology::{
         compute_paths, reduce, ChurnError, Graph, LinkId, NodeId, NodeKind, Path, PathId,
         PathSet, ReducedTopology, TopologyDelta, TopologyEdit,
+    };
+    pub use losstomo_wire::{
+        BatchEncoder, FrameView, JsonBatch, JsonFrame, SnapshotView, WireBatch,
+        WireEncodeOptions, WireError,
     };
 }
 

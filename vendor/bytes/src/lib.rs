@@ -1,11 +1,19 @@
-//! Offline stand-in for the subset of the `bytes` crate that the probe
-//! wire format uses: [`Bytes`]/[`BytesMut`] plus the big-endian
-//! [`Buf`]/[`BufMut`] accessors. Backed by a plain `Vec<u8>` with a
-//! read cursor — no reference counting or zero-copy slicing.
+//! Offline stand-in for the subset of the `bytes` crate the wire
+//! formats use: [`Bytes`]/[`BytesMut`] plus the [`Buf`]/[`BufMut`]
+//! accessor traits (big-endian for the probe packet format,
+//! little-endian for the snapshot wire format).
+//!
+//! [`Bytes`] is backed by an `Arc<Vec<u8>>` window, so `clone` and
+//! [`Bytes::slice`] are **O(1) reference-counted views** of the same
+//! allocation — the property the zero-copy snapshot ingest path relies
+//! on: a decoded row travels through a queue as a cheap window handle
+//! while its payload stays in the original receive buffer.
 
 #![forbid(unsafe_code)]
 
-/// Read access to a contiguous buffer, big-endian accessors.
+use std::sync::Arc;
+
+/// Read access to a contiguous buffer.
 pub trait Buf {
     /// Number of bytes remaining to read.
     fn remaining(&self) -> usize;
@@ -38,9 +46,38 @@ pub trait Buf {
         self.advance(4);
         v
     }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let c = self.chunk();
+        let v = u16::from_le_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let c = self.chunk();
+        let v = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let c = self.chunk();
+        let v = u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+        self.advance(8);
+        v
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
 }
 
-/// Write access to a growable buffer, big-endian accessors.
+/// Write access to a growable buffer.
 pub trait BufMut {
     /// Appends raw bytes.
     fn put_slice(&mut self, src: &[u8]);
@@ -59,20 +96,46 @@ pub trait BufMut {
     fn put_u32(&mut self, v: u32) {
         self.put_slice(&v.to_be_bytes());
     }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
 }
 
-/// An immutable byte buffer with a read cursor.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// An immutable, reference-counted byte window with a read cursor.
+///
+/// `clone` and [`Bytes::slice`] are O(1): they share the backing
+/// allocation and narrow the window, never copying payload bytes.
+#[derive(Debug, Clone, Default)]
 pub struct Bytes {
-    data: Vec<u8>,
-    pos: usize,
+    data: Arc<Vec<u8>>,
+    /// Window start (also the read cursor: [`Buf::advance`] moves it).
+    start: usize,
+    /// Window end (exclusive), fixed at construction/slicing.
+    end: usize,
 }
 
 impl Bytes {
-    /// Number of unread bytes.
+    /// Number of unread bytes in the window.
     #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
-        self.data.len() - self.pos
+        self.end - self.start
     }
 
     /// Returns `true` when no unread bytes remain.
@@ -80,26 +143,69 @@ impl Bytes {
         self.len() == 0
     }
 
+    /// The unread bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
     /// Copies the unread bytes into a fresh vector.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data[self.pos..].to_vec()
+        self.as_slice().to_vec()
+    }
+
+    /// An O(1) sub-window of the unread bytes (`range` is relative to
+    /// the current window): the result shares the backing allocation.
+    ///
+    /// # Panics
+    /// Panics when the range exceeds the window.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice {}..{} out of range for {} bytes",
+            range.start,
+            range.end,
+            self.len()
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(data: Vec<u8>) -> Self {
-        Bytes { data, pos: 0 }
+        let end = data.len();
+        Bytes {
+            data: Arc::new(data),
+            start: 0,
+            end,
+        }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(data: &[u8]) -> Self {
-        Bytes {
-            data: data.to_vec(),
-            pos: 0,
-        }
+        Bytes::from(data.to_vec())
     }
 }
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Content equality over the unread window (two views of different
+/// allocations with the same unread bytes are equal).
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
 
 impl Buf for Bytes {
     fn remaining(&self) -> usize {
@@ -107,12 +213,12 @@ impl Buf for Bytes {
     }
 
     fn chunk(&self) -> &[u8] {
-        &self.data[self.pos..]
+        self.as_slice()
     }
 
     fn advance(&mut self, n: usize) {
         assert!(n <= self.len(), "advance past end of Bytes");
-        self.pos += n;
+        self.start += n;
     }
 }
 
@@ -141,7 +247,20 @@ impl BytesMut {
         self.data.is_empty()
     }
 
-    /// Converts into an immutable [`Bytes`].
+    /// The written bytes, mutably — for patching fixed-offset header
+    /// fields (frame counts, lengths, checksums) after the payload has
+    /// been appended.
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// The written bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Converts into an immutable [`Bytes`] (moves the allocation; no
+    /// copy).
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
     }
@@ -172,10 +291,56 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_little_endian() {
+        let mut b = BytesMut::with_capacity(22);
+        b.put_u16_le(0x1234);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(0x0102_0304_0506_0708);
+        b.put_f64_le(-0.125);
+        let mut r = b.freeze();
+        assert_eq!(r.get_u16_le(), 0x1234);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0102_0304_0506_0708);
+        assert_eq!(r.get_f64_le().to_bits(), (-0.125f64).to_bits());
+        assert!(r.is_empty());
+    }
+
+    #[test]
     fn advance_moves_cursor() {
         let mut r = Bytes::from(vec![1u8, 2, 3, 4]);
         r.advance(2);
         assert_eq!(r.len(), 2);
         assert_eq!(r.to_vec(), vec![3, 4]);
+    }
+
+    #[test]
+    fn slice_is_a_window_of_the_same_allocation() {
+        let b = Bytes::from(vec![0u8, 1, 2, 3, 4, 5, 6, 7]);
+        let s = b.slice(2..6);
+        assert_eq!(s.as_slice(), &[2, 3, 4, 5]);
+        // The parent window is untouched.
+        assert_eq!(b.len(), 8);
+        // A slice of the slice composes.
+        let ss = s.slice(1..3);
+        assert_eq!(ss.as_slice(), &[3, 4]);
+        // Clones compare by content, not identity.
+        assert_eq!(ss, Bytes::from(vec![3u8, 4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_past_end_panics() {
+        Bytes::from(vec![1u8, 2, 3]).slice(1..5);
+    }
+
+    #[test]
+    fn patching_header_after_payload() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u32_le(0); // placeholder
+        b.put_u32_le(7);
+        b.as_mut_slice()[..4].copy_from_slice(&42u32.to_le_bytes());
+        let mut r = b.freeze();
+        assert_eq!(r.get_u32_le(), 42);
+        assert_eq!(r.get_u32_le(), 7);
     }
 }
